@@ -1,0 +1,106 @@
+#ifndef HATT_BENCH_BENCH_COMMON_HPP
+#define HATT_BENCH_BENCH_COMMON_HPP
+
+/**
+ * @file
+ * Shared harness code for the paper-reproduction benchmarks: builds each
+ * mapping, maps the Hamiltonian, compiles the Trotter circuit through
+ * the common pipeline (schedule -> synthesize -> peephole optimize) and
+ * collects the metrics every table reports.
+ */
+
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "circuit/optimize.hpp"
+#include "circuit/pauli_evolution.hpp"
+#include "circuit/schedule.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "fermion/majorana.hpp"
+#include "ham/qubit_hamiltonian.hpp"
+#include "mapping/balanced_tree.hpp"
+#include "mapping/bravyi_kitaev.hpp"
+#include "mapping/hatt.hpp"
+#include "mapping/jordan_wigner.hpp"
+#include "mapping/search.hpp"
+
+namespace hatt::bench {
+
+/** Metrics reported per (case, mapping) cell. */
+struct CellMetrics
+{
+    uint64_t pauliWeight = 0;
+    uint64_t cnot = 0;
+    uint64_t depth = 0;
+    uint64_t u3 = 0;
+    double buildSeconds = 0.0;
+};
+
+/** Compile a mapped Hamiltonian to circuit metrics. */
+inline CellMetrics
+compileMetrics(const MajoranaPolynomial &poly,
+               const FermionQubitMapping &map,
+               ScheduleKind sched = ScheduleKind::Lexicographic,
+               bool compile_circuit = true)
+{
+    CellMetrics out;
+    PauliSum hq = mapToQubits(poly, map);
+    out.pauliWeight = hq.pauliWeight();
+    if (!compile_circuit)
+        return out;
+    PauliSum ordered = scheduleTerms(hq, sched);
+    Circuit c = evolutionCircuit(ordered);
+    optimizeCircuit(c);
+    GateCounts counts = c.basisCounts();
+    out.cnot = counts.cnot;
+    out.u3 = counts.u3;
+    out.depth = counts.depth;
+    return out;
+}
+
+/** Build a mapping by family name over @p poly. */
+inline FermionQubitMapping
+buildMapping(const std::string &kind, const MajoranaPolynomial &poly)
+{
+    const uint32_t n = poly.numModes();
+    if (kind == "JW")
+        return jordanWignerMapping(n);
+    if (kind == "BK")
+        return bravyiKitaevMapping(n);
+    if (kind == "BTT")
+        return balancedTernaryTreeMapping(n);
+    if (kind == "HATT")
+        return buildHattMapping(poly).mapping;
+    if (kind == "HATT-unopt") {
+        HattOptions opt;
+        opt.vacuumPairing = false;
+        opt.descCache = false;
+        return buildHattMapping(poly, opt).mapping;
+    }
+    throw std::invalid_argument("buildMapping: unknown kind " + kind);
+}
+
+/**
+ * Fermihedral stand-in: exact tree search at tiny sizes, stochastic
+ * search up to @p max_stochastic_modes, otherwise absent (like FH
+ * timing out in the paper's larger rows).
+ */
+inline std::optional<FermionQubitMapping>
+buildFhStar(const MajoranaPolynomial &poly,
+            uint32_t max_stochastic_modes = 10)
+{
+    if (poly.numModes() <= 3) {
+        auto res = exhaustiveTreeSearch(poly, 3);
+        if (res)
+            return res->mapping;
+    }
+    if (poly.numModes() <= max_stochastic_modes)
+        return stochasticTreeSearch(poly, 6, 25, 2024).mapping;
+    return std::nullopt;
+}
+
+} // namespace hatt::bench
+
+#endif // HATT_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reproduces Fig. 12: compilation-time scaling on H = sum_i M_i.
+ *  - FH* exact (exhaustive trees x assignments): combinatorial blow-up,
+ *    the stand-in for Fermihedral's exponential SAT growth;
+ *  - HATT (unopt): Algorithm 1, O(N^4);
+ *  - HATT: Algorithms 2+3, O(N^3).
+ * Prints times and the fitted log-log slope of each curve.
+ */
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "models/chains.hpp"
+
+using namespace hatt;
+using namespace hatt::bench;
+
+namespace {
+
+double
+fitSlope(const std::vector<std::pair<double, double>> &pts)
+{
+    // Least squares on (log n, log t).
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (auto [x, y] : pts) {
+        double lx = std::log(x), ly = std::log(y);
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    double n = static_cast<double>(pts.size());
+    return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Fig. 12: compilation time scaling (H = sum Mi) ==="
+              << "\n";
+    TablePrinter table({"Modes", "FH* exact (s)", "HATT unopt (s)",
+                        "HATT (s)"});
+
+    std::vector<std::pair<double, double>> fh_pts, unopt_pts, opt_pts;
+
+    for (uint32_t n : {2u, 3u, 4u, 6u, 8u, 12u, 16u, 24u, 32u, 48u,
+                       64u}) {
+        MajoranaPolynomial poly = majoranaChain(n);
+
+        std::string fh_cell = "-";
+        if (n <= 4) {
+            Timer t;
+            auto res = exhaustiveTreeSearch(poly, 4);
+            double secs = t.seconds();
+            if (res) {
+                fh_cell = TablePrinter::num(secs, 4);
+                fh_pts.emplace_back(n, std::max(secs, 1e-7));
+            }
+        }
+
+        HattOptions unopt;
+        unopt.vacuumPairing = false;
+        unopt.descCache = false;
+        Timer t1;
+        buildHattMapping(poly, unopt);
+        double unopt_secs = t1.seconds();
+        unopt_pts.emplace_back(n, std::max(unopt_secs, 1e-7));
+
+        Timer t2;
+        buildHattMapping(poly);
+        double opt_secs = t2.seconds();
+        opt_pts.emplace_back(n, std::max(opt_secs, 1e-7));
+
+        table.addRow({std::to_string(n), fh_cell,
+                      TablePrinter::num(unopt_secs, 5),
+                      TablePrinter::num(opt_secs, 5)});
+    }
+    table.print(std::cout);
+
+    // Slopes over the asymptotic tail (>= 16 modes).
+    auto tail = [](const std::vector<std::pair<double, double>> &pts) {
+        std::vector<std::pair<double, double>> out;
+        for (auto p : pts)
+            if (p.first >= 16)
+                out.push_back(p);
+        return out;
+    };
+    std::cout << "log-log slope FH* exact (2..4 modes): "
+              << TablePrinter::num(fitSlope(fh_pts), 2)
+              << " (combinatorial)\n";
+    std::cout << "log-log slope HATT unopt (>=16 modes): "
+              << TablePrinter::num(fitSlope(tail(unopt_pts)), 2)
+              << " (paper: ~4)\n";
+    std::cout << "log-log slope HATT (>=16 modes): "
+              << TablePrinter::num(fitSlope(tail(opt_pts)), 2)
+              << " (paper: ~3)\n";
+    return 0;
+}

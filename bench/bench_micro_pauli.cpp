@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot substrate operations:
+ * Pauli string products, Hamiltonian mapping, and HATT construction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "fermion/majorana.hpp"
+#include "ham/qubit_hamiltonian.hpp"
+#include "mapping/hatt.hpp"
+#include "mapping/jordan_wigner.hpp"
+#include "models/chains.hpp"
+#include "models/hubbard.hpp"
+
+namespace {
+
+using namespace hatt;
+
+PauliString
+randomString(uint32_t n, Rng &rng)
+{
+    PauliString s(n);
+    for (uint32_t q = 0; q < n; ++q)
+        s.setOp(q, static_cast<PauliOp>(rng.nextInt(4)));
+    return s;
+}
+
+void
+BM_PauliMultiply(benchmark::State &state)
+{
+    Rng rng(1);
+    const uint32_t n = static_cast<uint32_t>(state.range(0));
+    PauliString a = randomString(n, rng);
+    PauliString b = randomString(n, rng);
+    for (auto _ : state) {
+        auto [c, phase] = PauliString::multiply(a, b);
+        benchmark::DoNotOptimize(c);
+        benchmark::DoNotOptimize(phase);
+    }
+}
+BENCHMARK(BM_PauliMultiply)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_PauliWeight(benchmark::State &state)
+{
+    Rng rng(2);
+    PauliString a =
+        randomString(static_cast<uint32_t>(state.range(0)), rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.weight());
+}
+BENCHMARK(BM_PauliWeight)->Arg(64)->Arg(512);
+
+void
+BM_MajoranaPreprocess(benchmark::State &state)
+{
+    HubbardParams params;
+    params.rows = 2;
+    params.cols = static_cast<uint32_t>(state.range(0));
+    FermionHamiltonian hf = hubbardModel(params);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(MajoranaPolynomial::fromFermion(hf));
+}
+BENCHMARK(BM_MajoranaPreprocess)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_MapToQubitsJw(benchmark::State &state)
+{
+    HubbardParams params;
+    params.rows = 2;
+    params.cols = static_cast<uint32_t>(state.range(0));
+    MajoranaPolynomial poly =
+        MajoranaPolynomial::fromFermion(hubbardModel(params));
+    FermionQubitMapping jw = jordanWignerMapping(poly.numModes());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mapToQubits(poly, jw));
+}
+BENCHMARK(BM_MapToQubitsJw)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_HattBuild(benchmark::State &state)
+{
+    MajoranaPolynomial poly =
+        majoranaChain(static_cast<uint32_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(buildHattMapping(poly));
+}
+BENCHMARK(BM_HattBuild)->Arg(8)->Arg(16)->Arg(32);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces Table I: Pauli weight, CNOT count and circuit depth of the
+ * electronic-structure benchmarks under JW / BK / BTT / FH* / HATT.
+ * FH* is the search stand-in for Fermihedral and, like FH in the paper,
+ * only covers the small cases ('-' elsewhere).
+ *
+ * Pass --quick to skip the two largest molecules (NaF, CO2).
+ */
+
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "chem/molecule.hpp"
+
+using namespace hatt;
+using namespace hatt::bench;
+
+int
+main(int argc, char **argv)
+{
+    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+    struct Case
+    {
+        MoleculeSpec spec;
+        const char *label;
+    };
+    std::vector<Case> cases = {
+        {{"H2", BasisSet::Sto3g, false, 0}, "H2 sto3g"},
+        {{"LiH", BasisSet::Sto3g, true, 3}, "LiH sto3g frz"},
+        {{"LiH", BasisSet::Sto3g, false, 0}, "LiH sto3g"},
+        {{"H2O", BasisSet::Sto3g, false, 0}, "H2O sto3g"},
+        {{"CH4", BasisSet::Sto3g, false, 0}, "CH4 sto3g"},
+        {{"O2", BasisSet::Sto3g, false, 0}, "O2 sto3g"},
+    };
+    if (!quick) {
+        cases.push_back({{"NaF", BasisSet::Sto3g, false, 0}, "NaF sto3g"});
+        cases.push_back({{"CO2", BasisSet::Sto3g, false, 0}, "CO2 sto3g"});
+    }
+
+    std::cout << "=== Table I: electronic structure models ===\n";
+    TablePrinter table({"Molecule", "Modes", "Metric", "JW", "BK", "BTT",
+                        "FH*", "HATT"});
+
+    for (const auto &c : cases) {
+        MolecularProblem prob = buildMolecule(c.spec);
+        MajoranaPolynomial poly =
+            MajoranaPolynomial::fromFermion(prob.hamiltonian);
+
+        std::vector<std::string> kinds = {"JW", "BK", "BTT"};
+        std::vector<CellMetrics> cells;
+        for (const auto &k : kinds)
+            cells.push_back(compileMetrics(poly, buildMapping(k, poly)));
+
+        std::optional<CellMetrics> fh;
+        if (auto fh_map = buildFhStar(poly))
+            fh = compileMetrics(poly, *fh_map);
+        cells.push_back(compileMetrics(poly, buildMapping("HATT", poly)));
+
+        auto row = [&](const char *metric, auto get) {
+            std::vector<std::string> r = {
+                c.label, std::to_string(poly.numModes()), metric};
+            for (size_t i = 0; i < 3; ++i)
+                r.push_back(TablePrinter::num(
+                    static_cast<long long>(get(cells[i]))));
+            r.push_back(fh ? TablePrinter::num(static_cast<long long>(
+                                 get(*fh)))
+                           : "-");
+            r.push_back(TablePrinter::num(
+                static_cast<long long>(get(cells[3]))));
+            table.addRow(std::move(r));
+        };
+        row("PauliWeight",
+            [](const CellMetrics &m) { return m.pauliWeight; });
+        row("CNOT", [](const CellMetrics &m) { return m.cnot; });
+        row("Depth", [](const CellMetrics &m) { return m.depth; });
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Table II: Fermi-Hubbard lattices from 2x2 (8 modes) to
+ * 4x5 (40 modes) under JW / BK / BTT / FH* / HATT.
+ */
+
+#include "bench_common.hpp"
+#include "models/hubbard.hpp"
+
+using namespace hatt;
+using namespace hatt::bench;
+
+int
+main()
+{
+    const std::pair<uint32_t, uint32_t> geoms[] = {
+        {2, 2}, {2, 3}, {2, 4}, {3, 3}, {2, 5}, {3, 4},
+        {2, 7}, {3, 5}, {4, 4}, {3, 6}, {4, 5}};
+
+    std::cout << "=== Table II: Fermi-Hubbard model (t=1, U=4) ===\n";
+    TablePrinter table({"Geometry", "Modes", "Metric", "JW", "BK", "BTT",
+                        "FH*", "HATT"});
+
+    for (auto [r, cgeo] : geoms) {
+        HubbardParams params;
+        params.rows = r;
+        params.cols = cgeo;
+        MajoranaPolynomial poly =
+            MajoranaPolynomial::fromFermion(hubbardModel(params));
+
+        std::vector<CellMetrics> cells;
+        for (const char *k : {"JW", "BK", "BTT"})
+            cells.push_back(compileMetrics(poly, buildMapping(k, poly)));
+        std::optional<CellMetrics> fh;
+        if (auto fh_map = buildFhStar(poly))
+            fh = compileMetrics(poly, *fh_map);
+        cells.push_back(compileMetrics(poly, buildMapping("HATT", poly)));
+
+        std::string label =
+            std::to_string(r) + "x" + std::to_string(cgeo);
+        auto row = [&](const char *metric, auto get) {
+            std::vector<std::string> out = {
+                label, std::to_string(poly.numModes()), metric};
+            for (size_t i = 0; i < 3; ++i)
+                out.push_back(TablePrinter::num(
+                    static_cast<long long>(get(cells[i]))));
+            out.push_back(fh ? TablePrinter::num(static_cast<long long>(
+                                   get(*fh)))
+                             : "-");
+            out.push_back(TablePrinter::num(
+                static_cast<long long>(get(cells[3]))));
+            table.addRow(std::move(out));
+        };
+        row("PauliWeight",
+            [](const CellMetrics &m) { return m.pauliWeight; });
+        row("CNOT", [](const CellMetrics &m) { return m.cnot; });
+        row("Depth", [](const CellMetrics &m) { return m.depth; });
+    }
+    table.print(std::cout);
+    return 0;
+}

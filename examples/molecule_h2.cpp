@@ -1,0 +1,73 @@
+/**
+ * @file
+ * End-to-end quantum chemistry example: run Hartree-Fock on H2/STO-3G
+ * with the built-in integral engine, map the second-quantized
+ * Hamiltonian with every available mapping, simulate a Trotter step on
+ * the state-vector simulator, and confirm all mappings agree on the
+ * (conserved) energy of the Hartree-Fock state.
+ */
+
+#include <iostream>
+
+#include "chem/molecule.hpp"
+#include "circuit/optimize.hpp"
+#include "circuit/pauli_evolution.hpp"
+#include "circuit/schedule.hpp"
+#include "fermion/majorana.hpp"
+#include "ham/qubit_hamiltonian.hpp"
+#include "mapping/balanced_tree.hpp"
+#include "mapping/bravyi_kitaev.hpp"
+#include "mapping/hatt.hpp"
+#include "mapping/jordan_wigner.hpp"
+#include "sim/state_prep.hpp"
+
+int
+main()
+{
+    using namespace hatt;
+
+    MolecularProblem prob =
+        buildMolecule({"H2", BasisSet::Sto3g, false, 0});
+    std::cout << "H2/STO-3G: " << prob.numModes << " spin orbitals, "
+              << prob.numElectrons << " electrons\n"
+              << "RHF total energy: " << prob.scfEnergy << " Hartree"
+              << (prob.scfConverged ? " (converged)" : " (NOT converged)")
+              << "\n\n";
+
+    MajoranaPolynomial poly =
+        MajoranaPolynomial::fromFermion(prob.hamiltonian);
+
+    struct Entry { std::string name; FermionQubitMapping map; };
+    std::vector<Entry> mappings;
+    mappings.push_back({"JW", jordanWignerMapping(prob.numModes)});
+    mappings.push_back({"BK", bravyiKitaevMapping(prob.numModes)});
+    mappings.push_back({"BTT", balancedTernaryTreeMapping(prob.numModes)});
+    mappings.push_back({"HATT", buildHattMapping(poly).mapping});
+
+    std::vector<uint32_t> occ =
+        hartreeFockOccupation(prob.numModes / 2, prob.numElectrons);
+
+    std::cout << "mapping  weight  cnot  depth  <HF|H|HF>\n";
+    for (const auto &entry : mappings) {
+        PauliSum hq = mapToQubits(poly, entry.map);
+        PauliSum ordered = scheduleTerms(hq, ScheduleKind::Lexicographic);
+        EvolutionOptions evo;
+        evo.time = 0.1;
+        Circuit c = evolutionCircuit(ordered, evo);
+        optimizeCircuit(c);
+        GateCounts counts = c.basisCounts();
+
+        // Prepare the HF determinant, evolve one Trotter step, and
+        // measure the energy: it is conserved up to Trotter error.
+        PreparedState prep = prepareOccupationState(entry.map, occ);
+        StateVector psi = prep.state;
+        psi.applyCircuit(c);
+        double energy = psi.expectation(hq).real();
+
+        std::cout << entry.name << "\t " << hq.pauliWeight() << "\t "
+                  << counts.cnot << "\t " << counts.depth << "\t "
+                  << energy << "\n";
+    }
+    std::cout << "\n(paper's H2 row, Table I: weights 32/34/36/32)\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Astroparticle example: collective neutrino oscillations on a 2x2F
+ * momentum lattice. Builds the Hamiltonian, compares all mappings,
+ * and runs a noisy Trotter simulation to show the Pauli-weight
+ * advantage translating into smaller energy bias under depolarizing
+ * noise.
+ */
+
+#include <iostream>
+
+#include "circuit/optimize.hpp"
+#include "circuit/pauli_evolution.hpp"
+#include "circuit/schedule.hpp"
+#include "fermion/majorana.hpp"
+#include "ham/qubit_hamiltonian.hpp"
+#include "mapping/balanced_tree.hpp"
+#include "mapping/hatt.hpp"
+#include "mapping/jordan_wigner.hpp"
+#include "models/neutrino.hpp"
+#include "sim/measure.hpp"
+#include "sim/state_prep.hpp"
+
+int
+main()
+{
+    using namespace hatt;
+
+    NeutrinoParams params;
+    params.sites = 2;
+    params.flavors = 2;
+    FermionHamiltonian hf = neutrinoModel(params);
+    MajoranaPolynomial poly = MajoranaPolynomial::fromFermion(hf);
+    std::cout << "Neutrino 2x2F: " << hf.numModes() << " modes, "
+              << poly.size() << " Majorana monomials\n\n";
+
+    struct Entry { std::string name; FermionQubitMapping map; };
+    std::vector<Entry> mappings;
+    mappings.push_back({"JW", jordanWignerMapping(poly.numModes())});
+    mappings.push_back(
+        {"BTT", balancedTernaryTreeMapping(poly.numModes())});
+    mappings.push_back({"HATT", buildHattMapping(poly).mapping});
+
+    // Occupy the two lowest momentum modes (one per helicity).
+    std::vector<uint32_t> occupied = {0, 4};
+
+    NoiseModel noise;
+    noise.p1 = 5e-5;
+    noise.p2 = 5e-4;
+
+    std::cout << "mapping  weight  cnot  |bias|     variance\n";
+    for (const auto &entry : mappings) {
+        PauliSum hq = mapToQubits(poly, entry.map);
+        Circuit c = evolutionCircuit(
+            scheduleTerms(hq, ScheduleKind::Lexicographic),
+            {LadderStyle::Chain, 1, 0.05});
+        optimizeCircuit(c);
+
+        PreparedState prep = prepareOccupationState(entry.map, occupied);
+        double theory = prep.state.expectation(hq).real();
+
+        Rng rng(99);
+        auto energies =
+            trajectoryEnergies(c, prep.state, hq, noise, 300, rng);
+        MeanVar mv = meanVariance(energies);
+        std::cout << entry.name << "\t " << hq.pauliWeight() << "\t "
+                  << c.cnotCount() << "\t "
+                  << std::abs(mv.mean - theory) << "\t " << mv.variance
+                  << "\n";
+    }
+    return 0;
+}

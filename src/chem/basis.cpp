@@ -1,0 +1,285 @@
+#include "chem/basis.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace hatt {
+
+namespace {
+
+/** Shell description before Cartesian expansion. */
+struct Shell
+{
+    int l = 0; // 0 = s, 1 = p
+    std::vector<double> exps;
+    std::vector<double> coefs;
+};
+
+// ---------------------------------------------------------------------
+// STO-3G: universal least-squares 3-Gaussian expansions of Slater
+// functions at zeta = 1 (Hehre, Stewart, Pople 1969); actual exponents
+// scale as zeta^2 * alpha.
+// ---------------------------------------------------------------------
+
+const double kSto1sExp[3] = {2.227660584, 0.405771156, 0.109818};
+const double kSto1sCoef[3] = {0.154328967, 0.535328142, 0.444634542};
+
+const double kSto2spExp[3] = {0.994203, 0.231031, 0.0751386};
+const double kSto2sCoef[3] = {-0.099967229, 0.399512826, 0.700115469};
+const double kSto2pCoef[3] = {0.155916275, 0.607683719, 0.391957393};
+
+const double kSto3spExp[3] = {0.482890, 0.134710, 0.052726};
+const double kSto3sCoef[3] = {-0.219620369, 0.225595434, 0.900398426};
+const double kSto3pCoef[3] = {0.010587604, 0.595167005, 0.462001012};
+
+/** Standard STO-3G Slater exponents per shell (1s, 2sp, 3sp). */
+struct SlaterZeta
+{
+    double z1s = 0, z2sp = 0, z3sp = 0;
+};
+
+const std::map<std::string, SlaterZeta> kZeta = {
+    {"H", {1.24, 0, 0}},       {"He", {1.69, 0, 0}},
+    {"Li", {2.69, 0.80, 0}},   {"Be", {3.68, 1.15, 0}},
+    {"B", {4.68, 1.50, 0}},    {"C", {5.67, 1.72, 0}},
+    {"N", {6.67, 1.95, 0}},    {"O", {7.66, 2.25, 0}},
+    {"F", {8.65, 2.55, 0}},    {"Na", {10.61, 3.48, 1.75}},
+    {"Mg", {11.59, 3.92, 1.75}},
+};
+
+std::vector<Shell>
+sto3gShells(const std::string &element)
+{
+    auto it = kZeta.find(element);
+    if (it == kZeta.end())
+        throw std::invalid_argument("STO-3G: unsupported element " +
+                                    element);
+    const SlaterZeta &z = it->second;
+    std::vector<Shell> shells;
+    auto scaled = [](const double (&base)[3], double zeta) {
+        std::vector<double> out(3);
+        for (int i = 0; i < 3; ++i)
+            out[i] = base[i] * zeta * zeta;
+        return out;
+    };
+    shells.push_back(
+        {0, scaled(kSto1sExp, z.z1s),
+         {kSto1sCoef[0], kSto1sCoef[1], kSto1sCoef[2]}});
+    if (z.z2sp > 0) {
+        shells.push_back(
+            {0, scaled(kSto2spExp, z.z2sp),
+             {kSto2sCoef[0], kSto2sCoef[1], kSto2sCoef[2]}});
+        shells.push_back(
+            {1, scaled(kSto2spExp, z.z2sp),
+             {kSto2pCoef[0], kSto2pCoef[1], kSto2pCoef[2]}});
+    }
+    if (z.z3sp > 0) {
+        shells.push_back(
+            {0, scaled(kSto3spExp, z.z3sp),
+             {kSto3sCoef[0], kSto3sCoef[1], kSto3sCoef[2]}});
+        shells.push_back(
+            {1, scaled(kSto3spExp, z.z3sp),
+             {kSto3pCoef[0], kSto3pCoef[1], kSto3pCoef[2]}});
+    }
+    return shells;
+}
+
+// ---------------------------------------------------------------------
+// 6-31G tabulated parameters (Pople and co-workers; best-effort values,
+// see DESIGN.md). Inner-valence sp shells share exponents.
+// ---------------------------------------------------------------------
+
+std::vector<Shell>
+b631gShells(const std::string &element)
+{
+    std::vector<Shell> shells;
+    if (element == "H") {
+        shells.push_back({0,
+                          {18.7311370, 2.8253937, 0.6401217},
+                          {0.03349460, 0.23472695, 0.81375733}});
+        shells.push_back({0, {0.1612778}, {1.0}});
+        return shells;
+    }
+    struct HeavyParams
+    {
+        std::vector<double> s6e, s6c, spe, spcs, spcp;
+        double outer;
+    };
+    static const std::map<std::string, HeavyParams> table = {
+        {"Li",
+         {{642.41892, 96.798515, 22.091121, 6.2010703, 1.9351177,
+           0.6367358},
+          {0.00214260, 0.01620890, 0.07731560, 0.24578600, 0.47018900,
+           0.34547080},
+          {2.3249184, 0.6324306, 0.0790534},
+          {-0.03509170, -0.19123280, 1.08398780},
+          {0.00894150, 0.14100950, 0.94536370},
+          0.0359620}},
+        {"Be",
+         {{1264.5857, 189.93681, 43.159089, 12.098663, 3.8063232,
+           1.2728903},
+          {0.00194480, 0.01483510, 0.07209060, 0.23715420, 0.46919870,
+           0.35652020},
+          {3.1964631, 0.7478133, 0.2199663},
+          {-0.11264870, -0.22950640, 1.18691670},
+          {0.05598020, 0.26155060, 0.79397230},
+          0.0823099}},
+        {"C",
+         {{3047.5249, 457.36951, 103.94869, 29.210155, 9.2866630,
+           3.1639270},
+          {0.00183470, 0.01403730, 0.06884260, 0.23218440, 0.46794130,
+           0.36231200},
+          {7.8682724, 1.8812885, 0.5442493},
+          {-0.11933240, -0.16085420, 1.14345640},
+          {0.06899910, 0.31642400, 0.74430830},
+          0.1687144}},
+        {"N",
+         {{4173.5110, 627.45790, 142.90210, 40.234330, 12.820210,
+           4.3904370},
+          {0.00183480, 0.01399500, 0.06858700, 0.23224100, 0.46906990,
+           0.36045520},
+          {11.626358, 2.7162800, 0.7722180},
+          {-0.11496120, -0.16911480, 1.14585200},
+          {0.06757974, 0.32390730, 0.74089510},
+          0.2120313}},
+        {"O",
+         {{5484.6717, 825.23495, 188.04696, 52.964500, 16.897570,
+           5.7996353},
+          {0.00183110, 0.01395010, 0.06844510, 0.23271430, 0.47019300,
+           0.35852090},
+          {15.539616, 3.5999336, 1.0137618},
+          {-0.11077750, -0.14802630, 1.13076700},
+          {0.07087430, 0.33975280, 0.72715860},
+          0.2700058}},
+    };
+    auto it = table.find(element);
+    if (it == table.end())
+        throw std::invalid_argument("6-31G: unsupported element " +
+                                    element);
+    const HeavyParams &p = it->second;
+    shells.push_back({0, p.s6e, p.s6c});
+    shells.push_back({0, p.spe, p.spcs});
+    shells.push_back({1, p.spe, p.spcp});
+    shells.push_back({0, {p.outer}, {1.0}});
+    shells.push_back({1, {p.outer}, {1.0}});
+    return shells;
+}
+
+double
+doubleFactorial(int n)
+{
+    double v = 1.0;
+    for (int k = n; k > 1; k -= 2)
+        v *= k;
+    return v;
+}
+
+/** Primitive Cartesian Gaussian normalization constant. */
+double
+primitiveNorm(double a, int lx, int ly, int lz)
+{
+    const int l = lx + ly + lz;
+    double num = std::pow(2.0 * a / M_PI, 0.75) *
+                 std::pow(4.0 * a, 0.5 * l);
+    double den = std::sqrt(doubleFactorial(2 * lx - 1) *
+                           doubleFactorial(2 * ly - 1) *
+                           doubleFactorial(2 * lz - 1));
+    return num / den;
+}
+
+/** Self-overlap of a primitive pair (same center, same angular part). */
+double
+primitivePairOverlap(double a, double b, int lx, int ly, int lz)
+{
+    const double p = a + b;
+    auto dim = [&](int l) {
+        // int x^{2l} e^{-p x^2} dx = (2l-1)!! / (2p)^l * sqrt(pi/p)
+        return doubleFactorial(2 * l - 1) / std::pow(2.0 * p, l) *
+               std::sqrt(M_PI / p);
+    };
+    return dim(lx) * dim(ly) * dim(lz);
+}
+
+BasisFunction
+makeContracted(const Shell &shell, const Vec3 &center, int lx, int ly,
+               int lz)
+{
+    BasisFunction f;
+    f.center = center;
+    f.lx = lx;
+    f.ly = ly;
+    f.lz = lz;
+    f.exps = shell.exps;
+    f.coefs.resize(shell.coefs.size());
+    for (size_t k = 0; k < shell.coefs.size(); ++k)
+        f.coefs[k] =
+            shell.coefs[k] * primitiveNorm(shell.exps[k], lx, ly, lz);
+
+    // Contraction normalization: <phi|phi> = 1.
+    double s = 0.0;
+    for (size_t i = 0; i < f.exps.size(); ++i)
+        for (size_t j = 0; j < f.exps.size(); ++j)
+            s += f.coefs[i] * f.coefs[j] *
+                 primitivePairOverlap(f.exps[i], f.exps[j], lx, ly, lz);
+    const double scale = 1.0 / std::sqrt(s);
+    for (double &c : f.coefs)
+        c *= scale;
+    return f;
+}
+
+std::vector<Shell>
+shellsFor(const std::string &element, BasisSet basis)
+{
+    return basis == BasisSet::Sto3g ? sto3gShells(element)
+                                    : b631gShells(element);
+}
+
+} // namespace
+
+std::string
+basisSetName(BasisSet basis)
+{
+    return basis == BasisSet::Sto3g ? "sto3g" : "631g";
+}
+
+std::vector<BasisFunction>
+basisForAtom(const Atom &atom, BasisSet basis)
+{
+    std::vector<BasisFunction> out;
+    for (const Shell &shell : shellsFor(atom.element, basis)) {
+        if (shell.l == 0) {
+            out.push_back(makeContracted(shell, atom.position, 0, 0, 0));
+        } else {
+            out.push_back(makeContracted(shell, atom.position, 1, 0, 0));
+            out.push_back(makeContracted(shell, atom.position, 0, 1, 0));
+            out.push_back(makeContracted(shell, atom.position, 0, 0, 1));
+        }
+    }
+    return out;
+}
+
+uint32_t
+basisFunctionCount(const std::string &element, BasisSet basis)
+{
+    uint32_t n = 0;
+    for (const Shell &shell : shellsFor(element, basis))
+        n += shell.l == 0 ? 1 : 3;
+    return n;
+}
+
+uint32_t
+coreOrbitalCount(const std::string &element)
+{
+    static const std::map<std::string, uint32_t> cores = {
+        {"H", 0}, {"He", 0}, {"Li", 1}, {"Be", 1}, {"B", 1}, {"C", 1},
+        {"N", 1}, {"O", 1},  {"F", 1},  {"Na", 5}, {"Mg", 5},
+    };
+    auto it = cores.find(element);
+    if (it == cores.end())
+        throw std::invalid_argument("coreOrbitalCount: unknown element " +
+                                    element);
+    return it->second;
+}
+
+} // namespace hatt

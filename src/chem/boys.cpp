@@ -1,0 +1,61 @@
+#include "chem/boys.hpp"
+
+#include <cmath>
+
+namespace hatt {
+
+namespace {
+
+constexpr double kSwitch = 35.0;
+
+/** Series F_m(T) = e^-T sum_k a_k, a_0 = 1/(2m+1), a_{k+1} = a_k T/(m+k+3/2). */
+double
+boysSeries(int m, double t)
+{
+    double a = 1.0 / (2.0 * m + 1.0);
+    double sum = a;
+    for (int k = 0; k < 300; ++k) {
+        a *= t / (m + k + 1.5);
+        sum += a;
+        if (a < sum * 1e-17)
+            break;
+    }
+    return std::exp(-t) * sum;
+}
+
+} // namespace
+
+double
+boysF(int m, double t)
+{
+    if (t < kSwitch)
+        return boysSeries(m, t);
+    // Asymptotic F_0 plus upward recursion (stable for large t).
+    double f = 0.5 * std::sqrt(M_PI / t);
+    const double emt = std::exp(-t);
+    for (int k = 0; k < m; ++k)
+        f = ((2.0 * k + 1.0) * f - emt) / (2.0 * t);
+    return f;
+}
+
+std::vector<double>
+boysArray(int mmax, double t)
+{
+    std::vector<double> out(mmax + 1);
+    if (t < kSwitch) {
+        // Downward recursion from the series value at mmax:
+        // F_m = (2t F_{m+1} + e^-t) / (2m + 1).
+        out[mmax] = boysSeries(mmax, t);
+        const double emt = std::exp(-t);
+        for (int m = mmax - 1; m >= 0; --m)
+            out[m] = (2.0 * t * out[m + 1] + emt) / (2.0 * m + 1.0);
+    } else {
+        out[0] = 0.5 * std::sqrt(M_PI / t);
+        const double emt = std::exp(-t);
+        for (int m = 1; m <= mmax; ++m)
+            out[m] = ((2.0 * m - 1.0) * out[m - 1] - emt) / (2.0 * t);
+    }
+    return out;
+}
+
+} // namespace hatt

@@ -1,0 +1,27 @@
+#ifndef HATT_CHEM_BOYS_HPP
+#define HATT_CHEM_BOYS_HPP
+
+/**
+ * @file
+ * The Boys function F_m(T) = int_0^1 t^{2m} e^{-T t^2} dt, the scalar
+ * kernel of all Coulomb-type Gaussian integrals (nuclear attraction and
+ * electron repulsion) in the McMurchie-Davidson scheme.
+ */
+
+#include <vector>
+
+namespace hatt {
+
+/** F_m(t) for a single order. */
+double boysF(int m, double t);
+
+/**
+ * F_0..F_mmax(t) in one call. Uses the confluent-hypergeometric series
+ * with downward recursion for small t and the asymptotic form with
+ * upward recursion for large t.
+ */
+std::vector<double> boysArray(int mmax, double t);
+
+} // namespace hatt
+
+#endif // HATT_CHEM_BOYS_HPP

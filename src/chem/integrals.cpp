@@ -1,0 +1,319 @@
+#include "chem/integrals.hpp"
+
+#include <cmath>
+
+#include "chem/boys.hpp"
+
+namespace hatt {
+
+namespace {
+
+/**
+ * Hermite expansion coefficient E_t^{ij} for a 1D Gaussian product
+ * (Helgaker-Jorgensen-Olsen Ch. 9). q = ab/(a+b), Qx = Ax - Bx.
+ */
+double
+hermiteE(int i, int j, int t, double Qx, double a, double b)
+{
+    const double p = a + b;
+    const double q = a * b / p;
+    if (t < 0 || t > i + j)
+        return 0.0;
+    if (i == 0 && j == 0 && t == 0)
+        return std::exp(-q * Qx * Qx);
+    if (j == 0) {
+        // decrement i
+        return (1.0 / (2.0 * p)) * hermiteE(i - 1, j, t - 1, Qx, a, b) -
+               (q * Qx / a) * hermiteE(i - 1, j, t, Qx, a, b) +
+               (t + 1.0) * hermiteE(i - 1, j, t + 1, Qx, a, b);
+    }
+    // decrement j
+    return (1.0 / (2.0 * p)) * hermiteE(i, j - 1, t - 1, Qx, a, b) +
+           (q * Qx / b) * hermiteE(i, j - 1, t, Qx, a, b) +
+           (t + 1.0) * hermiteE(i, j - 1, t + 1, Qx, a, b);
+}
+
+/** Hermite Coulomb integral R^n_{tuv} (recursive form). */
+double
+hermiteR(int t, int u, int v, int n, double p, double x, double y,
+         double z, const std::vector<double> &boys)
+{
+    if (t < 0 || u < 0 || v < 0)
+        return 0.0;
+    if (t == 0 && u == 0 && v == 0)
+        return std::pow(-2.0 * p, n) * boys[n];
+    if (t > 0) {
+        return (t - 1) *
+                   hermiteR(t - 2, u, v, n + 1, p, x, y, z, boys) +
+               x * hermiteR(t - 1, u, v, n + 1, p, x, y, z, boys);
+    }
+    if (u > 0) {
+        return (u - 1) *
+                   hermiteR(t, u - 2, v, n + 1, p, x, y, z, boys) +
+               y * hermiteR(t, u - 1, v, n + 1, p, x, y, z, boys);
+    }
+    return (v - 1) * hermiteR(t, u, v - 2, n + 1, p, x, y, z, boys) +
+           z * hermiteR(t, u, v - 1, n + 1, p, x, y, z, boys);
+}
+
+/** Primitive overlap (including (pi/p)^{3/2}). */
+double
+primOverlap(double a, int l1, int m1, int n1, const Vec3 &A, double b,
+            int l2, int m2, int n2, const Vec3 &B)
+{
+    const double p = a + b;
+    double sx = hermiteE(l1, l2, 0, A.x - B.x, a, b);
+    double sy = hermiteE(m1, m2, 0, A.y - B.y, a, b);
+    double sz = hermiteE(n1, n2, 0, A.z - B.z, a, b);
+    return sx * sy * sz * std::pow(M_PI / p, 1.5);
+}
+
+/** Primitive kinetic energy via overlap ladder identities. */
+double
+primKinetic(double a, int l1, int m1, int n1, const Vec3 &A, double b,
+            int l2, int m2, int n2, const Vec3 &B)
+{
+    double term0 = b * (2.0 * (l2 + m2 + n2) + 3.0) *
+                   primOverlap(a, l1, m1, n1, A, b, l2, m2, n2, B);
+    double term1 =
+        -2.0 * b * b *
+        (primOverlap(a, l1, m1, n1, A, b, l2 + 2, m2, n2, B) +
+         primOverlap(a, l1, m1, n1, A, b, l2, m2 + 2, n2, B) +
+         primOverlap(a, l1, m1, n1, A, b, l2, m2, n2 + 2, B));
+    double term2 = -0.5 * (l2 * (l2 - 1) *
+                               primOverlap(a, l1, m1, n1, A, b, l2 - 2,
+                                           m2, n2, B) +
+                           m2 * (m2 - 1) *
+                               primOverlap(a, l1, m1, n1, A, b, l2,
+                                           m2 - 2, n2, B) +
+                           n2 * (n2 - 1) *
+                               primOverlap(a, l1, m1, n1, A, b, l2, m2,
+                                           n2 - 2, B));
+    return term0 + term1 + term2;
+}
+
+/** Primitive nuclear attraction toward a unit charge at C. */
+double
+primNuclear(double a, int l1, int m1, int n1, const Vec3 &A, double b,
+            int l2, int m2, int n2, const Vec3 &B, const Vec3 &C)
+{
+    const double p = a + b;
+    Vec3 P{(a * A.x + b * B.x) / p, (a * A.y + b * B.y) / p,
+           (a * A.z + b * B.z) / p};
+    const double rpc2 = (P.x - C.x) * (P.x - C.x) +
+                        (P.y - C.y) * (P.y - C.y) +
+                        (P.z - C.z) * (P.z - C.z);
+    const int lmax = l1 + l2 + m1 + m2 + n1 + n2;
+    std::vector<double> boys = boysArray(lmax, p * rpc2);
+
+    double sum = 0.0;
+    for (int t = 0; t <= l1 + l2; ++t) {
+        double et = hermiteE(l1, l2, t, A.x - B.x, a, b);
+        if (et == 0.0)
+            continue;
+        for (int u = 0; u <= m1 + m2; ++u) {
+            double eu = hermiteE(m1, m2, u, A.y - B.y, a, b);
+            if (eu == 0.0)
+                continue;
+            for (int v = 0; v <= n1 + n2; ++v) {
+                double ev = hermiteE(n1, n2, v, A.z - B.z, a, b);
+                if (ev == 0.0)
+                    continue;
+                sum += et * eu * ev *
+                       hermiteR(t, u, v, 0, p, P.x - C.x, P.y - C.y,
+                                P.z - C.z, boys);
+            }
+        }
+    }
+    return 2.0 * M_PI / p * sum;
+}
+
+/** Primitive (ab|cd). */
+double
+primEri(double a, int l1, int m1, int n1, const Vec3 &A, double b, int l2,
+        int m2, int n2, const Vec3 &B, double c, int l3, int m3, int n3,
+        const Vec3 &C, double d, int l4, int m4, int n4, const Vec3 &D)
+{
+    const double p = a + b;
+    const double q = c + d;
+    const double alpha = p * q / (p + q);
+    Vec3 P{(a * A.x + b * B.x) / p, (a * A.y + b * B.y) / p,
+           (a * A.z + b * B.z) / p};
+    Vec3 Q{(c * C.x + d * D.x) / q, (c * C.y + d * D.y) / q,
+           (c * C.z + d * D.z) / q};
+    const double rpq2 = (P.x - Q.x) * (P.x - Q.x) +
+                        (P.y - Q.y) * (P.y - Q.y) +
+                        (P.z - Q.z) * (P.z - Q.z);
+    const int lmax =
+        l1 + l2 + l3 + l4 + m1 + m2 + m3 + m4 + n1 + n2 + n3 + n4;
+    std::vector<double> boys = boysArray(lmax, alpha * rpq2);
+
+    double sum = 0.0;
+    for (int t = 0; t <= l1 + l2; ++t) {
+        double e1t = hermiteE(l1, l2, t, A.x - B.x, a, b);
+        if (e1t == 0.0)
+            continue;
+        for (int u = 0; u <= m1 + m2; ++u) {
+            double e1u = hermiteE(m1, m2, u, A.y - B.y, a, b);
+            if (e1u == 0.0)
+                continue;
+            for (int v = 0; v <= n1 + n2; ++v) {
+                double e1v = hermiteE(n1, n2, v, A.z - B.z, a, b);
+                if (e1v == 0.0)
+                    continue;
+                for (int tau = 0; tau <= l3 + l4; ++tau) {
+                    double e2t =
+                        hermiteE(l3, l4, tau, C.x - D.x, c, d);
+                    if (e2t == 0.0)
+                        continue;
+                    for (int nu = 0; nu <= m3 + m4; ++nu) {
+                        double e2u =
+                            hermiteE(m3, m4, nu, C.y - D.y, c, d);
+                        if (e2u == 0.0)
+                            continue;
+                        for (int phi = 0; phi <= n3 + n4; ++phi) {
+                            double e2v = hermiteE(n3, n4, phi,
+                                                  C.z - D.z, c, d);
+                            if (e2v == 0.0)
+                                continue;
+                            double sign =
+                                ((tau + nu + phi) % 2) ? -1.0 : 1.0;
+                            sum += e1t * e1u * e1v * e2t * e2u * e2v *
+                                   sign *
+                                   hermiteR(t + tau, u + nu, v + phi, 0,
+                                            alpha, P.x - Q.x, P.y - Q.y,
+                                            P.z - Q.z, boys);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return 2.0 * std::pow(M_PI, 2.5) / (p * q * std::sqrt(p + q)) * sum;
+}
+
+/** Contract a primitive kernel over two contracted functions. */
+template <typename Kernel>
+double
+contract2(const BasisFunction &a, const BasisFunction &b, Kernel &&kernel)
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < a.exps.size(); ++i)
+        for (size_t j = 0; j < b.exps.size(); ++j)
+            sum += a.coefs[i] * b.coefs[j] * kernel(a.exps[i], b.exps[j]);
+    return sum;
+}
+
+} // namespace
+
+double
+overlapIntegral(const BasisFunction &a, const BasisFunction &b)
+{
+    return contract2(a, b, [&](double ea, double eb) {
+        return primOverlap(ea, a.lx, a.ly, a.lz, a.center, eb, b.lx, b.ly,
+                           b.lz, b.center);
+    });
+}
+
+double
+kineticIntegral(const BasisFunction &a, const BasisFunction &b)
+{
+    return contract2(a, b, [&](double ea, double eb) {
+        return primKinetic(ea, a.lx, a.ly, a.lz, a.center, eb, b.lx, b.ly,
+                           b.lz, b.center);
+    });
+}
+
+double
+nuclearIntegral(const BasisFunction &a, const BasisFunction &b,
+                const std::vector<Atom> &atoms)
+{
+    double sum = 0.0;
+    for (const Atom &atom : atoms) {
+        sum -= atom.charge *
+               contract2(a, b, [&](double ea, double eb) {
+                   return primNuclear(ea, a.lx, a.ly, a.lz, a.center, eb,
+                                      b.lx, b.ly, b.lz, b.center,
+                                      atom.position);
+               });
+    }
+    return sum;
+}
+
+double
+eriIntegral(const BasisFunction &a, const BasisFunction &b,
+            const BasisFunction &c, const BasisFunction &d)
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < a.exps.size(); ++i)
+        for (size_t j = 0; j < b.exps.size(); ++j)
+            for (size_t k = 0; k < c.exps.size(); ++k)
+                for (size_t l = 0; l < d.exps.size(); ++l)
+                    sum += a.coefs[i] * b.coefs[j] * c.coefs[k] *
+                           d.coefs[l] *
+                           primEri(a.exps[i], a.lx, a.ly, a.lz, a.center,
+                                   b.exps[j], b.lx, b.ly, b.lz, b.center,
+                                   c.exps[k], c.lx, c.ly, c.lz, c.center,
+                                   d.exps[l], d.lx, d.ly, d.lz,
+                                   d.center);
+    return sum;
+}
+
+AoIntegrals
+computeAoIntegrals(const std::vector<Atom> &atoms,
+                   const std::vector<BasisFunction> &funcs)
+{
+    const size_t n = funcs.size();
+    AoIntegrals out;
+    out.overlap = RealMatrix(n, n);
+    out.kinetic = RealMatrix(n, n);
+    out.nuclear = RealMatrix(n, n);
+    out.eri = EriTensor(n);
+
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i; j < n; ++j) {
+            double s = overlapIntegral(funcs[i], funcs[j]);
+            double t = kineticIntegral(funcs[i], funcs[j]);
+            double v = nuclearIntegral(funcs[i], funcs[j], atoms);
+            out.overlap(i, j) = out.overlap(j, i) = s;
+            out.kinetic(i, j) = out.kinetic(j, i) = t;
+            out.nuclear(i, j) = out.nuclear(j, i) = v;
+        }
+    }
+
+    // 8-fold permutational symmetry of real-orbital ERIs.
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j <= i; ++j) {
+            for (size_t k = 0; k <= i; ++k) {
+                for (size_t l = 0; l <= (k == i ? j : k); ++l) {
+                    double g =
+                        eriIntegral(funcs[i], funcs[j], funcs[k],
+                                    funcs[l]);
+                    out.eri.at(i, j, k, l) = g;
+                    out.eri.at(j, i, k, l) = g;
+                    out.eri.at(i, j, l, k) = g;
+                    out.eri.at(j, i, l, k) = g;
+                    out.eri.at(k, l, i, j) = g;
+                    out.eri.at(l, k, i, j) = g;
+                    out.eri.at(k, l, j, i) = g;
+                    out.eri.at(l, k, j, i) = g;
+                }
+            }
+        }
+    }
+
+    out.nuclearRepulsion = 0.0;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+        for (size_t j = i + 1; j < atoms.size(); ++j) {
+            double dx = atoms[i].position.x - atoms[j].position.x;
+            double dy = atoms[i].position.y - atoms[j].position.y;
+            double dz = atoms[i].position.z - atoms[j].position.z;
+            out.nuclearRepulsion +=
+                atoms[i].charge * atoms[j].charge /
+                std::sqrt(dx * dx + dy * dy + dz * dz);
+        }
+    }
+    return out;
+}
+
+} // namespace hatt

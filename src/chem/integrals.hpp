@@ -1,0 +1,71 @@
+#ifndef HATT_CHEM_INTEGRALS_HPP
+#define HATT_CHEM_INTEGRALS_HPP
+
+/**
+ * @file
+ * One- and two-electron Gaussian integrals via McMurchie-Davidson
+ * recurrences (Hermite expansion coefficients E_t^{ij} and Hermite
+ * Coulomb integrals R_tuv built on the Boys function). Supports any
+ * angular momentum, exercised here for s and p shells.
+ */
+
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "common/linalg.hpp"
+
+namespace hatt {
+
+/** <a|b> overlap of two contracted functions. */
+double overlapIntegral(const BasisFunction &a, const BasisFunction &b);
+
+/** <a| -nabla^2/2 |b> kinetic energy. */
+double kineticIntegral(const BasisFunction &a, const BasisFunction &b);
+
+/** <a| sum_A -Z_A/|r-R_A| |b> nuclear attraction. */
+double nuclearIntegral(const BasisFunction &a, const BasisFunction &b,
+                       const std::vector<Atom> &atoms);
+
+/** Chemist-notation two-electron integral (ab|cd). */
+double eriIntegral(const BasisFunction &a, const BasisFunction &b,
+                   const BasisFunction &c, const BasisFunction &d);
+
+/** Dense n^4 ERI tensor with 8-fold symmetry exploited. */
+class EriTensor
+{
+  public:
+    EriTensor() = default;
+    explicit EriTensor(size_t n) : n_(n), data_(n * n * n * n, 0.0) {}
+
+    size_t n() const { return n_; }
+    double &at(size_t i, size_t j, size_t k, size_t l)
+    {
+        return data_[((i * n_ + j) * n_ + k) * n_ + l];
+    }
+    double at(size_t i, size_t j, size_t k, size_t l) const
+    {
+        return data_[((i * n_ + j) * n_ + k) * n_ + l];
+    }
+
+  private:
+    size_t n_ = 0;
+    std::vector<double> data_;
+};
+
+/** All integral matrices of a molecule in the AO basis. */
+struct AoIntegrals
+{
+    RealMatrix overlap;
+    RealMatrix kinetic;
+    RealMatrix nuclear;
+    EriTensor eri;
+    double nuclearRepulsion = 0.0;
+};
+
+/** Compute all AO integrals for @p atoms in @p basisFunctions. */
+AoIntegrals computeAoIntegrals(const std::vector<Atom> &atoms,
+                               const std::vector<BasisFunction> &funcs);
+
+} // namespace hatt
+
+#endif // HATT_CHEM_INTEGRALS_HPP

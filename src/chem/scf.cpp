@@ -1,0 +1,179 @@
+#include "chem/scf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hatt {
+
+ScfResult
+runRhf(const AoIntegrals &ints, uint32_t num_electrons,
+       const ScfOptions &options)
+{
+    if (num_electrons % 2 != 0)
+        throw std::invalid_argument("runRhf: RHF needs an even electron "
+                                    "count");
+    const size_t n = ints.overlap.rows();
+    const uint32_t nocc = num_electrons / 2;
+    if (nocc > n)
+        throw std::invalid_argument("runRhf: more electrons than basis "
+                                    "functions support");
+
+    RealMatrix hcore(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            hcore(i, j) = ints.kinetic(i, j) + ints.nuclear(i, j);
+
+    RealMatrix x = symmetricInverseSqrt(ints.overlap);
+
+    auto solve_fock = [&](const RealMatrix &f, ScfResult &res) {
+        RealMatrix fp = x.transpose().multiply(f).multiply(x);
+        EigenSystem es = jacobiEigenSymmetric(fp);
+        res.coefficients = x.multiply(es.vectors);
+        res.orbitalEnergies = es.values;
+    };
+
+    auto density_from = [&](const RealMatrix &c) {
+        RealMatrix d(n, n);
+        for (size_t mu = 0; mu < n; ++mu)
+            for (size_t nu = 0; nu < n; ++nu) {
+                double v = 0.0;
+                for (uint32_t i = 0; i < nocc; ++i)
+                    v += c(mu, i) * c(nu, i);
+                d(mu, nu) = 2.0 * v;
+            }
+        return d;
+    };
+
+    auto build_fock = [&](const RealMatrix &d) {
+        RealMatrix f = hcore;
+        for (size_t mu = 0; mu < n; ++mu) {
+            for (size_t nu = 0; nu < n; ++nu) {
+                double g = 0.0;
+                for (size_t lam = 0; lam < n; ++lam)
+                    for (size_t sig = 0; sig < n; ++sig)
+                        g += d(lam, sig) *
+                             (ints.eri.at(mu, nu, lam, sig) -
+                              0.5 * ints.eri.at(mu, lam, nu, sig));
+                f(mu, nu) += g;
+            }
+        }
+        return f;
+    };
+
+    auto electronic_energy = [&](const RealMatrix &d,
+                                 const RealMatrix &f) {
+        double e = 0.0;
+        for (size_t mu = 0; mu < n; ++mu)
+            for (size_t nu = 0; nu < n; ++nu)
+                e += 0.5 * d(mu, nu) * (hcore(mu, nu) + f(mu, nu));
+        return e;
+    };
+
+    ScfResult res;
+    solve_fock(hcore, res); // core guess
+    RealMatrix d = density_from(res.coefficients);
+    double e_prev = 0.0;
+
+    for (uint32_t it = 0; it < options.maxIterations; ++it) {
+        RealMatrix f = build_fock(d);
+        double e = electronic_energy(d, f);
+        solve_fock(f, res);
+        RealMatrix d_new = density_from(res.coefficients);
+        // Damped density update for robustness on the harder cases.
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = 0; j < n; ++j)
+                d_new(i, j) = (1.0 - options.damping) * d_new(i, j) +
+                              options.damping * d(i, j);
+        d = std::move(d_new);
+        res.iterations = it + 1;
+        res.electronicEnergy = e;
+        if (it > 0 && std::abs(e - e_prev) < options.energyTol) {
+            res.converged = true;
+            break;
+        }
+        e_prev = e;
+    }
+    res.totalEnergy = res.electronicEnergy + ints.nuclearRepulsion;
+    return res;
+}
+
+MoIntegrals
+transformToMo(const AoIntegrals &ints, const ScfResult &scf,
+              uint32_t num_electrons)
+{
+    const size_t n = ints.overlap.rows();
+    const RealMatrix &c = scf.coefficients;
+
+    MoIntegrals mo;
+    mo.numOrbitals = static_cast<uint32_t>(n);
+    mo.numElectrons = num_electrons;
+    mo.coreEnergy = ints.nuclearRepulsion;
+
+    RealMatrix hcore(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            hcore(i, j) = ints.kinetic(i, j) + ints.nuclear(i, j);
+    mo.oneBody = c.transpose().multiply(hcore).multiply(c);
+
+    // Four quarter-transforms, O(n^5).
+    const size_t n4 = n * n * n * n;
+    std::vector<double> t0(n4), t1(n4);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            for (size_t k = 0; k < n; ++k)
+                for (size_t l = 0; l < n; ++l)
+                    t0[((i * n + j) * n + k) * n + l] =
+                        ints.eri.at(i, j, k, l);
+
+    auto quarter = [&](std::vector<double> &src, std::vector<double> &dst,
+                       int which) {
+        std::fill(dst.begin(), dst.end(), 0.0);
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = 0; j < n; ++j)
+                for (size_t k = 0; k < n; ++k)
+                    for (size_t l = 0; l < n; ++l) {
+                        double v = src[((i * n + j) * n + k) * n + l];
+                        if (v == 0.0)
+                            continue;
+                        for (size_t p = 0; p < n; ++p) {
+                            size_t idx;
+                            double cc;
+                            switch (which) {
+                              case 0:
+                                idx = ((p * n + j) * n + k) * n + l;
+                                cc = c(i, p);
+                                break;
+                              case 1:
+                                idx = ((i * n + p) * n + k) * n + l;
+                                cc = c(j, p);
+                                break;
+                              case 2:
+                                idx = ((i * n + j) * n + p) * n + l;
+                                cc = c(k, p);
+                                break;
+                              default:
+                                idx = ((i * n + j) * n + k) * n + p;
+                                cc = c(l, p);
+                                break;
+                            }
+                            dst[idx] += cc * v;
+                        }
+                    }
+    };
+
+    quarter(t0, t1, 0);
+    quarter(t1, t0, 1);
+    quarter(t0, t1, 2);
+    quarter(t1, t0, 3);
+
+    mo.twoBody = EriTensor(n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            for (size_t k = 0; k < n; ++k)
+                for (size_t l = 0; l < n; ++l)
+                    mo.twoBody.at(i, j, k, l) =
+                        t0[((i * n + j) * n + k) * n + l];
+    return mo;
+}
+
+} // namespace hatt

@@ -1,0 +1,55 @@
+#ifndef HATT_CHEM_SCF_HPP
+#define HATT_CHEM_SCF_HPP
+
+/**
+ * @file
+ * Restricted Hartree-Fock SCF solver and the AO->MO integral transform.
+ * Together with chem/integrals this replaces the paper's PySCF stage:
+ * the converged molecular orbitals define the second-quantized
+ * electronic-structure Hamiltonian handed to the mappings.
+ */
+
+#include "chem/integrals.hpp"
+
+namespace hatt {
+
+/** SCF configuration. */
+struct ScfOptions
+{
+    uint32_t maxIterations = 200;
+    double energyTol = 1e-9;
+    double damping = 0.35; //!< fraction of old density mixed in
+};
+
+/** Converged (or best-effort) RHF solution. */
+struct ScfResult
+{
+    bool converged = false;
+    uint32_t iterations = 0;
+    double electronicEnergy = 0.0;
+    double totalEnergy = 0.0;     //!< electronic + nuclear repulsion
+    RealMatrix coefficients;      //!< AO x MO
+    std::vector<double> orbitalEnergies;
+};
+
+/** Run restricted Hartree-Fock. @p num_electrons must be even. */
+ScfResult runRhf(const AoIntegrals &ints, uint32_t num_electrons,
+                 const ScfOptions &options = {});
+
+/** Spatial-orbital MO integrals (one-electron matrix + chemist ERIs). */
+struct MoIntegrals
+{
+    RealMatrix oneBody;   //!< h_pq
+    EriTensor twoBody;    //!< (pq|rs), chemist notation
+    double coreEnergy = 0.0; //!< nuclear repulsion (+ frozen core later)
+    uint32_t numOrbitals = 0;
+    uint32_t numElectrons = 0;
+};
+
+/** Transform AO integrals into the MO basis of @p scf. */
+MoIntegrals transformToMo(const AoIntegrals &ints, const ScfResult &scf,
+                          uint32_t num_electrons);
+
+} // namespace hatt
+
+#endif // HATT_CHEM_SCF_HPP

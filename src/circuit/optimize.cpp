@@ -1,0 +1,108 @@
+#include "circuit/optimize.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace hatt {
+
+namespace {
+
+bool
+inversePair(const Gate &a, const Gate &b)
+{
+    if (a.q0 != b.q0)
+        return false;
+    switch (a.kind) {
+      case GateKind::H: return b.kind == GateKind::H;
+      case GateKind::X: return b.kind == GateKind::X;
+      case GateKind::S: return b.kind == GateKind::Sdg;
+      case GateKind::Sdg: return b.kind == GateKind::S;
+      default: return false;
+    }
+}
+
+/** One forward pass; returns number of gates removed. */
+uint64_t
+cancelPass(Circuit &c)
+{
+    const uint32_t nq = c.numQubits();
+    std::vector<Gate> gates = c.gates();
+    std::vector<bool> removed(gates.size(), false);
+    // Per-wire stack of surviving gate indices (CNOTs sit in two stacks).
+    std::vector<std::vector<size_t>> wire(nq);
+
+    uint64_t cancelled = 0;
+    for (size_t i = 0; i < gates.size(); ++i) {
+        Gate &g = gates[i];
+        if (g.kind == GateKind::CNOT) {
+            auto &wc = wire[g.q0];
+            auto &wt = wire[g.q1];
+            if (!wc.empty() && !wt.empty() && wc.back() == wt.back()) {
+                const Gate &prev = gates[wc.back()];
+                if (prev.kind == GateKind::CNOT && prev.q0 == g.q0 &&
+                    prev.q1 == g.q1) {
+                    removed[wc.back()] = true;
+                    removed[i] = true;
+                    wc.pop_back();
+                    wt.pop_back();
+                    cancelled += 2;
+                    continue;
+                }
+            }
+            wc.push_back(i);
+            wt.push_back(i);
+        } else {
+            auto &w = wire[g.q0];
+            if (!w.empty()) {
+                Gate &prev = gates[w.back()];
+                if (!prev.isTwoQubit() && inversePair(prev, g)) {
+                    removed[w.back()] = true;
+                    removed[i] = true;
+                    w.pop_back();
+                    cancelled += 2;
+                    continue;
+                }
+                if (!prev.isTwoQubit() && prev.kind == GateKind::RZ &&
+                    g.kind == GateKind::RZ) {
+                    prev.angle += g.angle;
+                    removed[i] = true;
+                    ++cancelled; // merged, not strictly removed
+                    if (std::abs(std::remainder(prev.angle,
+                                                4.0 * M_PI)) < 1e-14) {
+                        removed[w.back()] = true;
+                        w.pop_back();
+                        ++cancelled;
+                    }
+                    continue;
+                }
+            }
+            w.push_back(i);
+        }
+    }
+
+    Circuit out(nq);
+    for (size_t i = 0; i < gates.size(); ++i)
+        if (!removed[i])
+            out.push(gates[i]);
+    c = std::move(out);
+    return cancelled;
+}
+
+} // namespace
+
+OptimizeStats
+optimizeCircuit(Circuit &c, uint32_t max_passes)
+{
+    OptimizeStats stats;
+    for (uint32_t p = 0; p < max_passes; ++p) {
+        size_t before = c.size();
+        uint64_t cancelled = cancelPass(c);
+        stats.removedGates += before - c.size();
+        ++stats.passes;
+        if (cancelled == 0)
+            break;
+    }
+    return stats;
+}
+
+} // namespace hatt

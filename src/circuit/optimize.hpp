@@ -1,0 +1,29 @@
+#ifndef HATT_CIRCUIT_OPTIMIZE_HPP
+#define HATT_CIRCUIT_OPTIMIZE_HPP
+
+/**
+ * @file
+ * Peephole circuit optimization standing in for the "Qiskit L3" cleanup
+ * the paper applies after synthesis: adjacent-inverse cancellation
+ * (H·H, S·Sdg, X·X, CNOT·CNOT) and RZ merging, iterated to a fixed point.
+ * Unitary-preserving by construction; property-tested against the
+ * state-vector simulator.
+ */
+
+#include "circuit/circuit.hpp"
+
+namespace hatt {
+
+/** Statistics of one optimizeCircuit run. */
+struct OptimizeStats
+{
+    uint64_t removedGates = 0;
+    uint32_t passes = 0;
+};
+
+/** Optimize @p c in place; returns what was removed. */
+OptimizeStats optimizeCircuit(Circuit &c, uint32_t max_passes = 16);
+
+} // namespace hatt
+
+#endif // HATT_CIRCUIT_OPTIMIZE_HPP

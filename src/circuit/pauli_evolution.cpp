@@ -1,0 +1,88 @@
+#include "circuit/pauli_evolution.hpp"
+
+#include <vector>
+
+namespace hatt {
+
+namespace {
+
+void
+emitTerm(Circuit &c, const PauliString &s, double alpha, LadderStyle style)
+{
+    std::vector<int> support;
+    for (uint32_t q = 0; q < s.numQubits(); ++q)
+        if (s.op(q) != PauliOp::I)
+            support.push_back(static_cast<int>(q));
+    if (support.empty())
+        return; // global phase
+
+    // (a) basis changes into Z.
+    for (int q : support) {
+        PauliOp op = s.op(static_cast<uint32_t>(q));
+        if (op == PauliOp::X) {
+            c.h(q);
+        } else if (op == PauliOp::Y) {
+            c.sdg(q);
+            c.h(q);
+        }
+    }
+    // (b) entangle into the highest-index support qubit.
+    const int target = support.back();
+    if (style == LadderStyle::Chain) {
+        for (size_t i = 0; i + 1 < support.size(); ++i)
+            c.cnot(support[i], support[i + 1]);
+    } else {
+        for (size_t i = 0; i + 1 < support.size(); ++i)
+            c.cnot(support[i], target);
+    }
+    // (c) rotation.
+    c.rz(target, 2.0 * alpha);
+    // (d) undo entanglement.
+    if (style == LadderStyle::Chain) {
+        for (size_t i = support.size() - 1; i-- > 0;)
+            c.cnot(support[i], support[i + 1]);
+    } else {
+        for (size_t i = support.size() - 1; i-- > 0;)
+            c.cnot(support[i], target);
+    }
+    // (e) undo basis changes.
+    for (int q : support) {
+        PauliOp op = s.op(static_cast<uint32_t>(q));
+        if (op == PauliOp::X) {
+            c.h(q);
+        } else if (op == PauliOp::Y) {
+            c.h(q);
+            c.s(q);
+        }
+    }
+}
+
+} // namespace
+
+Circuit
+pauliTermCircuit(const PauliString &s, double alpha, uint32_t num_qubits,
+                 LadderStyle style)
+{
+    Circuit c(num_qubits);
+    emitTerm(c, s, alpha, style);
+    return c;
+}
+
+Circuit
+evolutionCircuit(const PauliSum &h, const EvolutionOptions &options)
+{
+    Circuit c(h.numQubits());
+    const double dt = options.time /
+                      static_cast<double>(options.trotterSteps);
+    for (uint32_t step = 0; step < options.trotterSteps; ++step) {
+        for (const auto &term : h.terms()) {
+            if (term.string.isIdentity())
+                continue;
+            emitTerm(c, term.string, term.coeff.real() * dt,
+                     options.ladder);
+        }
+    }
+    return c;
+}
+
+} // namespace hatt

@@ -1,0 +1,51 @@
+#ifndef HATT_CIRCUIT_PAULI_EVOLUTION_HPP
+#define HATT_CIRCUIT_PAULI_EVOLUTION_HPP
+
+/**
+ * @file
+ * Synthesis of Trotterized time-evolution circuits from qubit Hamiltonians
+ * (the paper's Fig. 2 pattern): for each Pauli term exp(-i alpha S),
+ *  (a) rotate X/Y qubits into the Z basis (H, or Sdg+H),
+ *  (b) entangle the support into a target qubit with a CNOT ladder,
+ *  (c) RZ(2 alpha) on the target,
+ *  (d)-(e) undo (b) and (a).
+ */
+
+#include "circuit/circuit.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace hatt {
+
+/** CNOT entangling pattern. */
+enum class LadderStyle
+{
+    Chain, //!< CNOTs along sorted support (better inter-term cancellation)
+    Star,  //!< every support qubit CNOTs directly into the target (Fig. 2)
+};
+
+/** Synthesis options. */
+struct EvolutionOptions
+{
+    LadderStyle ladder = LadderStyle::Chain;
+    uint32_t trotterSteps = 1;
+    double time = 1.0;
+};
+
+/** Circuit implementing exp(-i alpha S) for a single Pauli string. */
+Circuit pauliTermCircuit(const PauliString &s, double alpha,
+                         uint32_t num_qubits,
+                         LadderStyle style = LadderStyle::Chain);
+
+/**
+ * First-order Trotter circuit for exp(-i H t): per step, one term block
+ * per non-identity term in H's stored order (schedule H beforehand to
+ * control the order). Coefficients must be (near-)real; the imaginary
+ * parts are ignored. The identity term contributes only a global phase
+ * and is skipped.
+ */
+Circuit evolutionCircuit(const PauliSum &h,
+                         const EvolutionOptions &options = {});
+
+} // namespace hatt
+
+#endif // HATT_CIRCUIT_PAULI_EVOLUTION_HPP

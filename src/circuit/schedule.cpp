@@ -1,0 +1,76 @@
+#include "circuit/schedule.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <climits>
+#include <numeric>
+
+namespace hatt {
+
+int
+overlapScore(const PauliString &a, const PauliString &b)
+{
+    int score = 0;
+    const auto &ax = a.xWords(), &az = a.zWords();
+    const auto &bx = b.xWords(), &bz = b.zWords();
+    for (size_t w = 0; w < ax.size(); ++w) {
+        uint64_t a_non = ax[w] | az[w];
+        uint64_t b_non = bx[w] | bz[w];
+        uint64_t both = a_non & b_non;
+        uint64_t same = both & ~(ax[w] ^ bx[w]) & ~(az[w] ^ bz[w]);
+        score += std::popcount(same);
+        score -= std::popcount(both & ~same);
+    }
+    return score;
+}
+
+PauliSum
+scheduleTerms(const PauliSum &h, ScheduleKind kind, size_t greedy_limit)
+{
+    if (kind == ScheduleKind::None || h.size() < 2)
+        return h;
+
+    std::vector<size_t> order(h.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    if (kind == ScheduleKind::Lexicographic ||
+        (kind == ScheduleKind::GreedyOverlap &&
+         h.size() > greedy_limit)) {
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            return h.terms()[a].string < h.terms()[b].string;
+        });
+    } else {
+        // Greedy nearest-neighbour chaining.
+        std::vector<bool> used(h.size(), false);
+        std::vector<size_t> chain;
+        chain.reserve(h.size());
+        size_t cur = 0;
+        used[0] = true;
+        chain.push_back(0);
+        for (size_t step = 1; step < h.size(); ++step) {
+            int best_score = INT_MIN;
+            size_t best = SIZE_MAX;
+            for (size_t cand = 0; cand < h.size(); ++cand) {
+                if (used[cand])
+                    continue;
+                int s = overlapScore(h.terms()[cur].string,
+                                     h.terms()[cand].string);
+                if (s > best_score) {
+                    best_score = s;
+                    best = cand;
+                }
+            }
+            used[best] = true;
+            chain.push_back(best);
+            cur = best;
+        }
+        order = std::move(chain);
+    }
+
+    PauliSum out(h.numQubits());
+    for (size_t idx : order)
+        out.add(h.terms()[idx]);
+    return out;
+}
+
+} // namespace hatt

@@ -1,0 +1,41 @@
+#ifndef HATT_CIRCUIT_SCHEDULE_HPP
+#define HATT_CIRCUIT_SCHEDULE_HPP
+
+/**
+ * @file
+ * Term-scheduling passes for quantum-simulation kernels, standing in for
+ * the Paulihedral [24] block-wise scheduler: ordering the Pauli terms so
+ * adjacent evolution blocks share basis changes and ladder segments that
+ * the peephole optimizer can then cancel.
+ */
+
+#include "pauli/pauli_sum.hpp"
+
+namespace hatt {
+
+/** Scheduling strategy. */
+enum class ScheduleKind
+{
+    None,          //!< keep insertion order
+    Lexicographic, //!< sort by string (Paulihedral-lite default)
+    GreedyOverlap, //!< O(T^2) nearest-neighbour chaining by shared ops
+};
+
+/**
+ * Return a copy of @p h with terms reordered. GreedyOverlap falls back to
+ * Lexicographic above @p greedy_limit terms to keep compilation O(T^2)
+ * bounded.
+ */
+PauliSum scheduleTerms(const PauliSum &h, ScheduleKind kind,
+                       size_t greedy_limit = 4096);
+
+/**
+ * Overlap score used by GreedyOverlap: number of qubits where the two
+ * strings carry the same non-identity operator, minus mismatches where
+ * both are non-identity but different (those force re-basis).
+ */
+int overlapScore(const PauliString &a, const PauliString &b);
+
+} // namespace hatt
+
+#endif // HATT_CIRCUIT_SCHEDULE_HPP

@@ -1,0 +1,240 @@
+#include "common/linalg.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hatt {
+
+RealMatrix
+RealMatrix::identity(size_t n)
+{
+    RealMatrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+RealMatrix
+RealMatrix::transpose() const
+{
+    RealMatrix t(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            t(c, r) = (*this)(r, c);
+    return t;
+}
+
+RealMatrix
+RealMatrix::multiply(const RealMatrix &rhs) const
+{
+    assert(cols_ == rhs.rows_);
+    RealMatrix out(rows_, rhs.cols_);
+    for (size_t r = 0; r < rows_; ++r) {
+        for (size_t k = 0; k < cols_; ++k) {
+            double v = (*this)(r, k);
+            if (v == 0.0)
+                continue;
+            for (size_t c = 0; c < rhs.cols_; ++c)
+                out(r, c) += v * rhs(k, c);
+        }
+    }
+    return out;
+}
+
+double
+RealMatrix::maxAbsDiff(const RealMatrix &other) const
+{
+    assert(rows_ == other.rows_ && cols_ == other.cols_);
+    double m = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::abs(data_[i] - other.data_[i]));
+    return m;
+}
+
+ComplexMatrix
+ComplexMatrix::identity(size_t n)
+{
+    ComplexMatrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = {1.0, 0.0};
+    return m;
+}
+
+ComplexMatrix
+ComplexMatrix::multiply(const ComplexMatrix &rhs) const
+{
+    assert(cols_ == rhs.rows_);
+    ComplexMatrix out(rows_, rhs.cols_);
+    for (size_t r = 0; r < rows_; ++r) {
+        for (size_t k = 0; k < cols_; ++k) {
+            cplx v = (*this)(r, k);
+            if (v == cplx{})
+                continue;
+            for (size_t c = 0; c < rhs.cols_; ++c)
+                out(r, c) += v * rhs(k, c);
+        }
+    }
+    return out;
+}
+
+ComplexMatrix
+ComplexMatrix::adjoint() const
+{
+    ComplexMatrix out(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out(c, r) = std::conj((*this)(r, c));
+    return out;
+}
+
+ComplexMatrix
+ComplexMatrix::add(const ComplexMatrix &rhs, cplx scale) const
+{
+    assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+    ComplexMatrix out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] + scale * rhs.data_[i];
+    return out;
+}
+
+double
+ComplexMatrix::maxAbsDiff(const ComplexMatrix &other) const
+{
+    assert(rows_ == other.rows_ && cols_ == other.cols_);
+    double m = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::abs(data_[i] - other.data_[i]));
+    return m;
+}
+
+bool
+ComplexMatrix::isHermitian(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = r; c < cols_; ++c)
+            if (std::abs((*this)(r, c) - std::conj((*this)(c, r))) > tol)
+                return false;
+    return true;
+}
+
+cplx
+ComplexMatrix::trace() const
+{
+    cplx t{};
+    for (size_t i = 0; i < std::min(rows_, cols_); ++i)
+        t += (*this)(i, i);
+    return t;
+}
+
+EigenSystem
+jacobiEigenSymmetric(const RealMatrix &input)
+{
+    const size_t n = input.rows();
+    if (n != input.cols())
+        throw std::invalid_argument("jacobiEigenSymmetric: non-square");
+
+    RealMatrix a = input;
+    RealMatrix v = RealMatrix::identity(n);
+
+    const int max_sweeps = 100;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (size_t p = 0; p < n; ++p)
+            for (size_t q = p + 1; q < n; ++q)
+                off += a(p, q) * a(p, q);
+        if (off < 1e-24)
+            break;
+
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                double apq = a(p, q);
+                if (std::abs(apq) < 1e-300)
+                    continue;
+                double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+                double t = (theta >= 0 ? 1.0 : -1.0) /
+                           (std::abs(theta) +
+                            std::sqrt(theta * theta + 1.0));
+                double c = 1.0 / std::sqrt(t * t + 1.0);
+                double s = t * c;
+
+                for (size_t k = 0; k < n; ++k) {
+                    double akp = a(k, p), akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double apk = a(p, k), aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double vkp = v(k, p), vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t x, size_t y) { return a(x, x) < a(y, y); });
+
+    EigenSystem out;
+    out.values.resize(n);
+    out.vectors = RealMatrix(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        out.values[i] = a(order[i], order[i]);
+        for (size_t k = 0; k < n; ++k)
+            out.vectors(k, i) = v(k, order[i]);
+    }
+    return out;
+}
+
+std::vector<double>
+hermitianEigenvalues(const ComplexMatrix &h)
+{
+    const size_t n = h.rows();
+    if (n != h.cols())
+        throw std::invalid_argument("hermitianEigenvalues: non-square");
+
+    // Embed H = A + iB (A symmetric, B antisymmetric) as the real symmetric
+    // [[A, -B], [B, A]]; its spectrum is that of H with each value doubled.
+    RealMatrix e(2 * n, 2 * n);
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < n; ++c) {
+            double re = h(r, c).real();
+            double im = h(r, c).imag();
+            e(r, c) = re;
+            e(n + r, n + c) = re;
+            e(r, n + c) = -im;
+            e(n + r, c) = im;
+        }
+    }
+    EigenSystem es = jacobiEigenSymmetric(e);
+    std::vector<double> vals(n);
+    for (size_t i = 0; i < n; ++i)
+        vals[i] = 0.5 * (es.values[2 * i] + es.values[2 * i + 1]);
+    return vals;
+}
+
+RealMatrix
+symmetricInverseSqrt(const RealMatrix &a, double floor)
+{
+    EigenSystem es = jacobiEigenSymmetric(a);
+    const size_t n = a.rows();
+    RealMatrix d(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        double lam = std::max(es.values[i], floor);
+        d(i, i) = 1.0 / std::sqrt(lam);
+    }
+    return es.vectors.multiply(d).multiply(es.vectors.transpose());
+}
+
+} // namespace hatt

@@ -1,0 +1,115 @@
+#ifndef HATT_COMMON_LINALG_HPP
+#define HATT_COMMON_LINALG_HPP
+
+/**
+ * @file
+ * Small dense linear-algebra kernels: a row-major matrix type, a cyclic
+ * Jacobi eigensolver for real-symmetric matrices, and a complex-Hermitian
+ * eigensolver built on the real embedding [[Re,-Im],[Im,Re]].
+ *
+ * These are deliberately dependency-free: they back the Hartree-Fock SCF
+ * solver (overlap orthogonalization, Fock diagonalization) and the spectral
+ * cross-checks between fermion-to-qubit mappings, where matrices stay small
+ * (tens of rows for chemistry, up to a few hundred for spectral tests).
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hatt {
+
+/** Dense row-major real matrix. */
+class RealMatrix
+{
+  public:
+    RealMatrix() = default;
+    RealMatrix(size_t rows, size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {
+    }
+
+    static RealMatrix identity(size_t n);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    double &operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    double operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    RealMatrix transpose() const;
+    RealMatrix multiply(const RealMatrix &rhs) const;
+
+    /** max |a_ij - b_ij| between two equally-shaped matrices. */
+    double maxAbsDiff(const RealMatrix &other) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** Dense row-major complex matrix (used for small operator cross-checks). */
+class ComplexMatrix
+{
+  public:
+    ComplexMatrix() = default;
+    ComplexMatrix(size_t rows, size_t cols, cplx fill = {})
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {
+    }
+
+    static ComplexMatrix identity(size_t n);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    cplx &operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    cplx operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    ComplexMatrix multiply(const ComplexMatrix &rhs) const;
+    ComplexMatrix adjoint() const;
+    ComplexMatrix add(const ComplexMatrix &rhs, cplx scale = {1.0, 0.0}) const;
+
+    double maxAbsDiff(const ComplexMatrix &other) const;
+    bool isHermitian(double tol = kNumTol) const;
+    cplx trace() const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<cplx> data_;
+};
+
+/** Result of a symmetric eigendecomposition: A = V diag(values) V^T. */
+struct EigenSystem
+{
+    std::vector<double> values;   //!< ascending eigenvalues
+    RealMatrix vectors;           //!< column k is the k-th eigenvector
+};
+
+/**
+ * Cyclic Jacobi eigensolver for a real symmetric matrix.
+ *
+ * @param a symmetric input matrix (only read).
+ * @return eigenvalues in ascending order with matching eigenvectors.
+ */
+EigenSystem jacobiEigenSymmetric(const RealMatrix &a);
+
+/**
+ * Eigenvalues of a complex Hermitian matrix via the doubled real embedding.
+ * Each eigenvalue of H appears twice in the embedding; the duplicates are
+ * collapsed so exactly rows() values are returned, ascending.
+ */
+std::vector<double> hermitianEigenvalues(const ComplexMatrix &h);
+
+/** A^{-1/2} for a symmetric positive-definite matrix (via Jacobi). */
+RealMatrix symmetricInverseSqrt(const RealMatrix &a, double floor = 1e-12);
+
+} // namespace hatt
+
+#endif // HATT_COMMON_LINALG_HPP

@@ -1,0 +1,57 @@
+#ifndef HATT_COMMON_RNG_HPP
+#define HATT_COMMON_RNG_HPP
+
+/**
+ * @file
+ * Seeded random number generator wrapper. All stochastic components of the
+ * library (noise models, stochastic mapping search, random test sweeps) use
+ * this type so every experiment is reproducible from a single seed.
+ */
+
+#include <cstdint>
+#include <random>
+
+namespace hatt {
+
+/** Deterministic RNG; a thin wrapper around std::mt19937_64. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    uint64_t
+    nextInt(uint64_t bound)
+    {
+        std::uniform_int_distribution<uint64_t> dist(0, bound - 1);
+        return dist(engine_);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        std::uniform_real_distribution<double> dist(0.0, 1.0);
+        return dist(engine_);
+    }
+
+    /** Standard normal sample. */
+    double
+    nextGaussian()
+    {
+        std::normal_distribution<double> dist(0.0, 1.0);
+        return dist(engine_);
+    }
+
+    /** True with probability p. */
+    bool chance(double p) { return nextDouble() < p; }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace hatt
+
+#endif // HATT_COMMON_RNG_HPP

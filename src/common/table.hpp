@@ -1,0 +1,41 @@
+#ifndef HATT_COMMON_TABLE_HPP
+#define HATT_COMMON_TABLE_HPP
+
+/**
+ * @file
+ * Minimal fixed-width table printer used by the benchmark harnesses to
+ * emit rows in the same layout as the paper's tables.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hatt {
+
+/** Accumulates rows of string cells and prints them column-aligned. */
+class TablePrinter
+{
+  public:
+    /** @param headers column titles printed first and used for sizing. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; missing trailing cells render as empty. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render all rows to @p os with a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /** Format helper: fixed-precision double. */
+    static std::string num(double v, int precision = 2);
+    /** Format helper: integer. */
+    static std::string num(long long v);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hatt
+
+#endif // HATT_COMMON_TABLE_HPP

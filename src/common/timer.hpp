@@ -1,0 +1,36 @@
+#ifndef HATT_COMMON_TIMER_HPP
+#define HATT_COMMON_TIMER_HPP
+
+/**
+ * @file
+ * Wall-clock timer used by the scalability experiments (Fig. 12).
+ */
+
+#include <chrono>
+
+namespace hatt {
+
+/** Simple monotonic wall-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace hatt
+
+#endif // HATT_COMMON_TIMER_HPP

@@ -1,0 +1,34 @@
+#ifndef HATT_COMMON_TYPES_HPP
+#define HATT_COMMON_TYPES_HPP
+
+/**
+ * @file
+ * Shared scalar types and numeric constants used across the library.
+ */
+
+#include <complex>
+#include <cstdint>
+
+namespace hatt {
+
+/** Complex scalar used for all operator coefficients and amplitudes. */
+using cplx = std::complex<double>;
+
+/** Coefficients with magnitude below this threshold are treated as zero. */
+inline constexpr double kCoeffTol = 1e-10;
+
+/** Tolerance for floating-point comparisons in tests and verifiers. */
+inline constexpr double kNumTol = 1e-9;
+
+/** The four powers of the imaginary unit, indexed by exponent mod 4. */
+inline cplx
+phaseFromExponent(int exponent)
+{
+    static const cplx table[4] = {
+        {1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.0}, {0.0, -1.0}};
+    return table[((exponent % 4) + 4) % 4];
+}
+
+} // namespace hatt
+
+#endif // HATT_COMMON_TYPES_HPP

@@ -1,0 +1,71 @@
+#include "fermion/fermion_op.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace hatt {
+
+std::string
+FermionTerm::toString() const
+{
+    std::ostringstream ss;
+    ss << "(" << coeff.real();
+    if (coeff.imag() != 0.0)
+        ss << (coeff.imag() > 0 ? "+" : "") << coeff.imag() << "i";
+    ss << ")";
+    for (const auto &op : ops) {
+        ss << " a";
+        if (op.creation)
+            ss << "+";
+        ss << "_" << op.mode;
+    }
+    return ss.str();
+}
+
+void
+FermionHamiltonian::add(const FermionTerm &term)
+{
+    for ([[maybe_unused]] const auto &op : term.ops)
+        assert(op.mode < num_modes_);
+    terms_.push_back(term);
+}
+
+void
+FermionHamiltonian::add(cplx coeff, std::vector<FermionOp> ops)
+{
+    add(FermionTerm{coeff, std::move(ops)});
+}
+
+void
+FermionHamiltonian::addWithConjugate(cplx coeff,
+                                     const std::vector<FermionOp> &ops)
+{
+    add(FermionTerm{coeff, ops});
+    add(conjugateTerm(FermionTerm{coeff, ops}));
+}
+
+FermionTerm
+FermionHamiltonian::conjugateTerm(const FermionTerm &term)
+{
+    FermionTerm out;
+    out.coeff = std::conj(term.coeff);
+    out.ops.assign(term.ops.rbegin(), term.ops.rend());
+    for (auto &op : out.ops)
+        op.creation = !op.creation;
+    return out;
+}
+
+std::string
+FermionHamiltonian::toString() const
+{
+    std::ostringstream ss;
+    for (size_t i = 0; i < terms_.size(); ++i) {
+        if (i)
+            ss << " + ";
+        ss << terms_[i].toString();
+    }
+    return ss.str();
+}
+
+} // namespace hatt

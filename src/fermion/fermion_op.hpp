@@ -1,0 +1,90 @@
+#ifndef HATT_FERMION_FERMION_OP_HPP
+#define HATT_FERMION_FERMION_OP_HPP
+
+/**
+ * @file
+ * Second-quantized fermionic operators: products of creation/annihilation
+ * operators with complex coefficients, and Hamiltonians as weighted sums of
+ * such products. This is the input language of every fermion-to-qubit
+ * mapping in the library.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hatt {
+
+/** A single ladder operator a_mode or a†_mode. */
+struct FermionOp
+{
+    uint32_t mode = 0;
+    bool creation = false;
+
+    bool operator==(const FermionOp &o) const = default;
+};
+
+/** Convenience constructors. */
+inline FermionOp
+create(uint32_t mode)
+{
+    return {mode, true};
+}
+
+inline FermionOp
+annihilate(uint32_t mode)
+{
+    return {mode, false};
+}
+
+/** A coefficient times an ordered product of ladder operators. */
+struct FermionTerm
+{
+    cplx coeff{1.0, 0.0};
+    std::vector<FermionOp> ops; //!< applied right-to-left, like matrices
+
+    FermionTerm() = default;
+    FermionTerm(cplx c, std::vector<FermionOp> o)
+        : coeff(c), ops(std::move(o))
+    {
+    }
+
+    std::string toString() const;
+};
+
+/**
+ * A fermionic Hamiltonian H_F = sum_k c_k * (product of ladder ops) over a
+ * fixed number of modes.
+ */
+class FermionHamiltonian
+{
+  public:
+    FermionHamiltonian() = default;
+    explicit FermionHamiltonian(uint32_t num_modes) : num_modes_(num_modes) {}
+
+    uint32_t numModes() const { return num_modes_; }
+
+    void add(const FermionTerm &term);
+    void add(cplx coeff, std::vector<FermionOp> ops);
+
+    /** Append term and its Hermitian conjugate (conjugated, reversed). */
+    void addWithConjugate(cplx coeff, const std::vector<FermionOp> &ops);
+
+    const std::vector<FermionTerm> &terms() const { return terms_; }
+    size_t size() const { return terms_.size(); }
+
+    /** Hermitian conjugate of a single term. */
+    static FermionTerm conjugateTerm(const FermionTerm &term);
+
+    std::string toString() const;
+
+  private:
+    uint32_t num_modes_ = 0;
+    std::vector<FermionTerm> terms_;
+};
+
+} // namespace hatt
+
+#endif // HATT_FERMION_FERMION_OP_HPP

@@ -1,0 +1,104 @@
+#include "fermion/fock.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hatt {
+
+FockSpace::FockSpace(uint32_t num_modes) : num_modes_(num_modes)
+{
+    if (num_modes > 20)
+        throw std::invalid_argument("FockSpace: too many modes for oracle");
+}
+
+std::optional<FockAmplitude>
+FockSpace::applyTerm(const FermionTerm &term, uint64_t basis) const
+{
+    uint64_t state = basis;
+    double sign = 1.0;
+    // Ladder products act like matrix products: rightmost operator first.
+    for (auto it = term.ops.rbegin(); it != term.ops.rend(); ++it) {
+        const uint64_t bit = uint64_t{1} << it->mode;
+        const bool occupied = state & bit;
+        if (it->creation == occupied)
+            return std::nullopt; // a†|1> = a|0> = 0
+        const uint64_t below = state & (bit - 1);
+        if (std::popcount(below) & 1)
+            sign = -sign;
+        state ^= bit;
+    }
+    return FockAmplitude{state, term.coeff * sign};
+}
+
+ComplexMatrix
+FockSpace::toMatrix(const FermionHamiltonian &hf) const
+{
+    if (num_modes_ > 14)
+        throw std::invalid_argument("FockSpace::toMatrix: too many modes");
+    const size_t dim = size_t{1} << num_modes_;
+    ComplexMatrix m(dim, dim);
+    for (const auto &term : hf.terms()) {
+        for (size_t col = 0; col < dim; ++col) {
+            auto res = applyTerm(term, col);
+            if (res)
+                m(res->state, col) += res->amplitude;
+        }
+    }
+    return m;
+}
+
+ComplexMatrix
+FockSpace::toMatrix(const MajoranaPolynomial &poly) const
+{
+    if (num_modes_ > 14)
+        throw std::invalid_argument("FockSpace::toMatrix: too many modes");
+    const size_t dim = size_t{1} << num_modes_;
+    ComplexMatrix m(dim, dim);
+
+    // Expand each Majorana into the two ladder halves recursively per basis
+    // column: M_2j = a_j + a†_j, M_2j+1 = i(a_j - a†_j) ... derived from
+    // a†_j = (M_2j - iM_2j+1)/2, a_j = (M_2j + iM_2j+1)/2.
+    for (const auto &term : poly.terms()) {
+        const size_t k = term.indices.size();
+        const size_t combos = size_t{1} << k;
+        for (size_t mask = 0; mask < combos; ++mask) {
+            FermionTerm ft;
+            ft.coeff = term.coeff;
+            // indices ascending == leftmost factor first; ops vector is
+            // also leftmost-first, applyTerm handles right-to-left order.
+            for (size_t p = 0; p < k; ++p) {
+                uint32_t mi = term.indices[p];
+                uint32_t mode = mi / 2;
+                bool odd = mi & 1;
+                bool take_creation = (mask >> p) & 1;
+                if (odd) {
+                    // a_j - a†_j = i M_2j+1  =>  M_2j+1 = i a†_j - i a_j.
+                    ft.coeff *= take_creation ? cplx{0.0, 1.0}
+                                              : cplx{0.0, -1.0};
+                }
+                ft.ops.push_back(take_creation ? create(mode)
+                                               : annihilate(mode));
+            }
+            for (size_t col = 0; col < dim; ++col) {
+                auto res = applyTerm(ft, col);
+                if (res)
+                    m(res->state, col) += res->amplitude;
+            }
+        }
+    }
+    return m;
+}
+
+cplx
+FockSpace::vacuumExpectation(const FermionHamiltonian &hf) const
+{
+    cplx e{};
+    for (const auto &term : hf.terms()) {
+        auto res = applyTerm(term, 0);
+        if (res && res->state == 0)
+            e += res->amplitude;
+    }
+    return e;
+}
+
+} // namespace hatt

@@ -1,0 +1,66 @@
+#ifndef HATT_FERMION_FOCK_HPP
+#define HATT_FERMION_FOCK_HPP
+
+/**
+ * @file
+ * Exact Fock-space reference implementation ("oracle") of fermionic
+ * operators. Applies ladder products directly to occupation-number basis
+ * states with Jordan-Wigner-free sign bookkeeping, and materializes dense
+ * Hamiltonian matrices for small systems.
+ *
+ * Used by the test suite to validate every fermion-to-qubit mapping: the
+ * JW-mapped Hamiltonian matrix must equal the Fock matrix exactly, and all
+ * other mappings must be isospectral to it.
+ *
+ * Convention: basis state index b encodes occupations with mode j at bit j,
+ * i.e. |e_{N-1} ... e_1 e_0>. Applying a_j / a†_j picks up the sign
+ * (-1)^{sum_{k<j} e_k} (operators are ordered with mode 0 "first").
+ */
+
+#include <cstdint>
+#include <optional>
+
+#include "common/linalg.hpp"
+#include "fermion/fermion_op.hpp"
+#include "fermion/majorana.hpp"
+
+namespace hatt {
+
+/** Result of applying an operator product to a basis state. */
+struct FockAmplitude
+{
+    uint64_t state = 0; //!< resulting occupation bit pattern
+    cplx amplitude{};   //!< coefficient (0 encoded by returning nullopt)
+};
+
+/** Exact applier/materializer on the occupation-number basis. */
+class FockSpace
+{
+  public:
+    explicit FockSpace(uint32_t num_modes);
+
+    uint32_t numModes() const { return num_modes_; }
+
+    /**
+     * Apply one term's ladder-operator product (rightmost op first) to the
+     * basis state @p basis. Returns nullopt when annihilated to zero.
+     */
+    std::optional<FockAmplitude> applyTerm(const FermionTerm &term,
+                                           uint64_t basis) const;
+
+    /** Dense 2^N x 2^N matrix of a fermionic Hamiltonian (N <= ~12). */
+    ComplexMatrix toMatrix(const FermionHamiltonian &hf) const;
+
+    /** Dense matrix of a Majorana polynomial, via M_2j = a_j + a†_j etc. */
+    ComplexMatrix toMatrix(const MajoranaPolynomial &poly) const;
+
+    /** <vac| H |vac>: sum of amplitudes returning the vacuum to itself. */
+    cplx vacuumExpectation(const FermionHamiltonian &hf) const;
+
+  private:
+    uint32_t num_modes_;
+};
+
+} // namespace hatt
+
+#endif // HATT_FERMION_FOCK_HPP

@@ -1,0 +1,40 @@
+#include "ham/qubit_hamiltonian.hpp"
+
+#include <cassert>
+
+namespace hatt {
+
+PauliSum
+mapToQubits(const MajoranaPolynomial &poly, const FermionQubitMapping &map)
+{
+    assert(poly.numModes() == map.numModes);
+    PauliSum sum(map.numQubits);
+    for (const auto &term : poly.terms()) {
+        PauliTerm acc{term.coeff, PauliString(map.numQubits)};
+        for (uint32_t mi : term.indices) {
+            assert(mi < map.majorana.size());
+            acc = PauliTerm::multiply(acc, map.majorana[mi]);
+        }
+        sum.add(acc);
+    }
+    sum.compress();
+    return sum;
+}
+
+PauliSum
+mapToQubits(const FermionHamiltonian &hf, const FermionQubitMapping &map)
+{
+    return mapToQubits(MajoranaPolynomial::fromFermion(hf), map);
+}
+
+HamiltonianMetrics
+hamiltonianMetrics(const PauliSum &sum)
+{
+    HamiltonianMetrics m;
+    m.pauliWeight = sum.pauliWeight();
+    m.numTerms = sum.numNonIdentityTerms();
+    m.maxImagCoeff = sum.maxImagCoeff();
+    return m;
+}
+
+} // namespace hatt

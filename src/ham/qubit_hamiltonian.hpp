@@ -1,0 +1,42 @@
+#ifndef HATT_HAM_QUBIT_HAMILTONIAN_HPP
+#define HATT_HAM_QUBIT_HAMILTONIAN_HPP
+
+/**
+ * @file
+ * Applies a fermion-to-qubit mapping to a Majorana polynomial (or directly
+ * to a fermionic Hamiltonian), producing the qubit Hamiltonian PauliSum
+ * whose Pauli weight / circuit cost the paper evaluates.
+ */
+
+#include "fermion/fermion_op.hpp"
+#include "fermion/majorana.hpp"
+#include "mapping/mapping.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace hatt {
+
+/**
+ * Map a Majorana polynomial through @p map: every monomial becomes the
+ * phase-tracked product of the mapped Majorana strings. The result is
+ * compressed (duplicates merged, near-zero coefficients dropped).
+ */
+PauliSum mapToQubits(const MajoranaPolynomial &poly,
+                     const FermionQubitMapping &map);
+
+/** Convenience overload: preprocesses @p hf first. */
+PauliSum mapToQubits(const FermionHamiltonian &hf,
+                     const FermionQubitMapping &map);
+
+/** Metrics the paper reports per mapping, before circuit compilation. */
+struct HamiltonianMetrics
+{
+    uint64_t pauliWeight = 0;
+    size_t numTerms = 0;      //!< non-identity terms
+    double maxImagCoeff = 0;  //!< Hermiticity indicator (should be ~0)
+};
+
+HamiltonianMetrics hamiltonianMetrics(const PauliSum &sum);
+
+} // namespace hatt
+
+#endif // HATT_HAM_QUBIT_HAMILTONIAN_HPP

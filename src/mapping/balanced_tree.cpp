@@ -1,0 +1,61 @@
+#include "mapping/balanced_tree.hpp"
+
+#include <cassert>
+#include <functional>
+
+namespace hatt {
+
+std::vector<int>
+vacuumPairingAssignment(const TernaryTree &tree)
+{
+    std::vector<int> assignment(2 * tree.numModes(), -1);
+    uint32_t next_mode = 0;
+
+    // Post-order: the unpaired leaf of each subtree is its Z-descendant;
+    // at each internal node pair descZ(X-subtree) with descZ(Y-subtree).
+    std::function<int(int)> process = [&](int id) -> int {
+        const TreeNode &nd = tree.node(id);
+        if (nd.isLeaf())
+            return id;
+        int ux = process(nd.child[BranchX]);
+        int uy = process(nd.child[BranchY]);
+        int uz = process(nd.child[BranchZ]);
+        assert(next_mode < tree.numModes());
+        // X side becomes the even Majorana so the pair reads (X, Y).
+        assignment[2 * next_mode] = tree.node(ux).leafIndex;
+        assignment[2 * next_mode + 1] = tree.node(uy).leafIndex;
+        ++next_mode;
+        return uz;
+    };
+    process(tree.root());
+    assert(next_mode == tree.numModes());
+    return assignment;
+}
+
+FermionQubitMapping
+balancedTernaryTreeMapping(uint32_t num_modes, BttAssignment policy)
+{
+    TernaryTree tree = TernaryTree::balanced(num_modes);
+    std::vector<PauliString> strings = tree.extractStrings();
+
+    FermionQubitMapping map;
+    map.numModes = num_modes;
+    map.numQubits = num_modes;
+    map.name = "BTT";
+    map.majorana.reserve(2 * num_modes);
+
+    if (policy == BttAssignment::Natural) {
+        for (uint32_t i = 0; i < 2 * num_modes; ++i)
+            map.majorana.emplace_back(cplx{1.0, 0.0}, strings[i]);
+        return map;
+    }
+
+    std::vector<int> assignment = vacuumPairingAssignment(tree);
+    for (uint32_t i = 0; i < 2 * num_modes; ++i) {
+        assert(assignment[i] >= 0);
+        map.majorana.emplace_back(cplx{1.0, 0.0}, strings[assignment[i]]);
+    }
+    return map;
+}
+
+} // namespace hatt

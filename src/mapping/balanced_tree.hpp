@@ -1,0 +1,43 @@
+#ifndef HATT_MAPPING_BALANCED_TREE_HPP
+#define HATT_MAPPING_BALANCED_TREE_HPP
+
+/**
+ * @file
+ * Balanced ternary tree (BTT) mapping of Jiang et al. [20] / the Bonsai
+ * line of work [27]: the minimal-depth complete ternary tree gives
+ * ceil(log3(2N+1)) Pauli weight per Majorana operator.
+ *
+ * Two assignment policies for attaching Majorana indices to leaves:
+ *  - Paired (default): leaves are paired bottom-up so every Majorana pair
+ *    (M_2l, M_2l+1) shares an (X, Y) on one qubit with Z/I elsewhere below,
+ *    which preserves the vacuum state (paper Sec. IV-A).
+ *  - Natural: leaf l carries M_l directly (vacuum NOT preserved); kept for
+ *    ablation studies and tests.
+ */
+
+#include "mapping/mapping.hpp"
+#include "tree/ternary_tree.hpp"
+
+namespace hatt {
+
+/** Leaf-to-Majorana assignment policy. */
+enum class BttAssignment { Paired, Natural };
+
+/** Build the balanced ternary tree mapping for @p num_modes modes. */
+FermionQubitMapping
+balancedTernaryTreeMapping(uint32_t num_modes,
+                           BttAssignment policy = BttAssignment::Paired);
+
+/**
+ * Compute the vacuum-preserving pairing for an arbitrary complete ternary
+ * tree: processes internal nodes bottom-up, pairing the unpaired leaf of
+ * the X subtree with the unpaired leaf of the Y subtree; the Z subtree's
+ * unpaired leaf propagates up, and the root's leftover leaf is discarded.
+ *
+ * @return leafIndexOfMajorana[i] = leaf index carrying M_i (size 2N).
+ */
+std::vector<int> vacuumPairingAssignment(const TernaryTree &tree);
+
+} // namespace hatt
+
+#endif // HATT_MAPPING_BALANCED_TREE_HPP

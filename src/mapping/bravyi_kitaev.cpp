@@ -1,0 +1,78 @@
+#include "mapping/bravyi_kitaev.hpp"
+
+#include <algorithm>
+
+namespace hatt {
+
+namespace {
+
+uint32_t
+lowbit(uint32_t v)
+{
+    return v & (~v + 1);
+}
+
+} // namespace
+
+BravyiKitaevSets
+bravyiKitaevSets(uint32_t j, uint32_t num_modes)
+{
+    BravyiKitaevSets sets;
+    const uint32_t n = num_modes;
+    const uint32_t one_based = j + 1;
+
+    // Parity set: Fenwick prefix-sum chain for modes [0, j).
+    for (uint32_t k = j; k > 0; k -= lowbit(k))
+        sets.parity.push_back(k - 1);
+
+    // Update set: Fenwick update chain strictly above j.
+    for (uint32_t k = one_based + lowbit(one_based); k <= n;
+         k += lowbit(k))
+        sets.update.push_back(k - 1);
+
+    // Flip set: children of node (j+1) covering (j+1-lowbit, j].
+    for (uint32_t k = j; k > one_based - lowbit(one_based);
+         k -= lowbit(k))
+        sets.flip.push_back(k - 1);
+
+    // remainder = parity \ flip (flip is a prefix of the parity chain).
+    for (uint32_t q : sets.parity) {
+        if (std::find(sets.flip.begin(), sets.flip.end(), q) ==
+            sets.flip.end())
+            sets.remainder.push_back(q);
+    }
+    return sets;
+}
+
+FermionQubitMapping
+bravyiKitaevMapping(uint32_t num_modes)
+{
+    FermionQubitMapping map;
+    map.numModes = num_modes;
+    map.numQubits = num_modes;
+    map.name = "BK";
+    map.majorana.reserve(2 * num_modes);
+    for (uint32_t j = 0; j < num_modes; ++j) {
+        BravyiKitaevSets sets = bravyiKitaevSets(j, num_modes);
+
+        PauliString even(num_modes);
+        even.setOp(j, PauliOp::X);
+        for (uint32_t q : sets.update)
+            even.setOp(q, PauliOp::X);
+        for (uint32_t q : sets.parity)
+            even.setOp(q, PauliOp::Z);
+
+        PauliString odd(num_modes);
+        odd.setOp(j, PauliOp::Y);
+        for (uint32_t q : sets.update)
+            odd.setOp(q, PauliOp::X);
+        for (uint32_t q : sets.remainder)
+            odd.setOp(q, PauliOp::Z);
+
+        map.majorana.emplace_back(cplx{1.0, 0.0}, even);
+        map.majorana.emplace_back(cplx{1.0, 0.0}, odd);
+    }
+    return map;
+}
+
+} // namespace hatt

@@ -1,0 +1,41 @@
+#ifndef HATT_MAPPING_BRAVYI_KITAEV_HPP
+#define HATT_MAPPING_BRAVYI_KITAEV_HPP
+
+/**
+ * @file
+ * Bravyi-Kitaev transformation [5] built on the Fenwick (binary indexed)
+ * tree for arbitrary mode counts (Seeley-Richard-Love construction):
+ *
+ *   M_2j   = X_{U(j)} X_j Z_{P(j)}
+ *   M_2j+1 = X_{U(j)} Y_j Z_{rho(j)},  rho(j) = P(j) \ F(j)
+ *
+ * where P(j) is the parity set (Fenwick prefix-query chain of j), U(j) the
+ * update set (Fenwick update chain above j), and F(j) the flip set (the
+ * children of j whose stored parities compose j's occupation).
+ * O(log N) Pauli weight per Majorana; preserves the vacuum state.
+ */
+
+#include <vector>
+
+#include "mapping/mapping.hpp"
+
+namespace hatt {
+
+/** Fenwick index-set helpers, exposed for tests. Qubits are 0-indexed. */
+struct BravyiKitaevSets
+{
+    std::vector<uint32_t> parity;  //!< P(j)
+    std::vector<uint32_t> update;  //!< U(j)
+    std::vector<uint32_t> flip;    //!< F(j), a subset of P(j)
+    std::vector<uint32_t> remainder; //!< rho(j) = P(j) \ F(j)
+};
+
+/** Compute the Fenwick sets for mode @p j out of @p num_modes. */
+BravyiKitaevSets bravyiKitaevSets(uint32_t j, uint32_t num_modes);
+
+/** Build the Bravyi-Kitaev mapping for @p num_modes modes. */
+FermionQubitMapping bravyiKitaevMapping(uint32_t num_modes);
+
+} // namespace hatt
+
+#endif // HATT_MAPPING_BRAVYI_KITAEV_HPP

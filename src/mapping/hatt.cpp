@@ -1,0 +1,271 @@
+#include "mapping/hatt.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/timer.hpp"
+
+namespace hatt {
+
+namespace {
+
+/** Hash for sorted node-support vectors. */
+struct SupportHash
+{
+    size_t
+    operator()(const std::vector<int> &v) const
+    {
+        uint64_t h = 0x9e3779b97f4a7c15ULL ^ v.size();
+        for (int x : v) {
+            h ^= static_cast<uint64_t>(x) + 0x9e3779b97f4a7c15ULL +
+                 (h << 6) + (h >> 2);
+            h *= 0xff51afd7ed558ccdULL;
+        }
+        return static_cast<size_t>(h);
+    }
+};
+
+using SupportMap = std::unordered_map<std::vector<int>, int64_t, SupportHash>;
+
+/** Per-step occurrence counters over active node ids. */
+class StepCounts
+{
+  public:
+    StepCounts(size_t max_id) : n_(max_id), cnt1_(max_id, 0),
+                                cnt2_(max_id * max_id, 0)
+    {
+    }
+
+    void
+    accumulate(const SupportMap &terms)
+    {
+        std::fill(cnt1_.begin(), cnt1_.end(), 0);
+        std::fill(cnt2_.begin(), cnt2_.end(), 0);
+        for (const auto &[support, mult] : terms) {
+            for (size_t i = 0; i < support.size(); ++i) {
+                cnt1_[support[i]] += mult;
+                for (size_t j = i + 1; j < support.size(); ++j)
+                    cnt2_[static_cast<size_t>(support[i]) * n_ +
+                          support[j]] += mult;
+            }
+        }
+    }
+
+    /** Hamiltonian weight on the new qubit for candidate triple (a,b,c). */
+    int64_t
+    tripleWeight(int a, int b, int c) const
+    {
+        return cnt1_[a] + cnt1_[b] + cnt1_[c] - pair(a, b) - pair(a, c) -
+               pair(b, c);
+    }
+
+  private:
+    int64_t
+    pair(int a, int b) const
+    {
+        if (a > b)
+            std::swap(a, b);
+        return cnt2_[static_cast<size_t>(a) * n_ + b];
+    }
+
+    size_t n_;
+    std::vector<int64_t> cnt1_;
+    std::vector<int64_t> cnt2_;
+};
+
+/** Reduce the term multiset after merging (a, b, c) into parent. */
+SupportMap
+reduceTerms(const SupportMap &terms, int a, int b, int c, int parent)
+{
+    SupportMap out;
+    out.reserve(terms.size());
+    std::vector<int> scratch;
+    for (const auto &[support, mult] : terms) {
+        int present = 0;
+        scratch.clear();
+        for (int id : support) {
+            if (id == a || id == b || id == c)
+                ++present;
+            else
+                scratch.push_back(id);
+        }
+        if (present & 1)
+            scratch.push_back(parent); // parent id exceeds all others
+        if (scratch.empty())
+            continue; // fully settled: contributes no further weight
+        out[scratch] += mult;
+    }
+    return out;
+}
+
+} // namespace
+
+HattResult
+buildHattMapping(const MajoranaPolynomial &poly, const HattOptions &options)
+{
+    const uint32_t n = poly.numModes();
+    if (n == 0)
+        throw std::invalid_argument("buildHattMapping: zero modes");
+    if (options.descCache && !options.vacuumPairing)
+        throw std::invalid_argument(
+            "buildHattMapping: descCache requires vacuumPairing");
+
+    Timer timer;
+    const int num_leaves = static_cast<int>(2 * n + 1);
+    const int last_leaf = num_leaves - 1; // leaf 2N: never paired
+    const size_t max_id = static_cast<size_t>(3 * n + 1);
+
+    TernaryTree tree(n);
+
+    // Active (parentless) node set, kept sorted for determinism.
+    std::vector<int> active(num_leaves);
+    for (int i = 0; i < num_leaves; ++i)
+        active[i] = i;
+
+    // Reduced Hamiltonian: support multiset over active node ids.
+    SupportMap terms;
+    for (const auto &t : poly.terms()) {
+        if (t.indices.empty())
+            continue;
+        std::vector<int> support(t.indices.begin(), t.indices.end());
+        terms[support] += 1;
+    }
+
+    // Algorithm 3 caches: node -> descZ(node) and descZ(node) -> node.
+    std::vector<int> mdown(max_id, -1), mup(max_id, -1);
+    for (int i = 0; i < num_leaves; ++i) {
+        mdown[i] = i;
+        mup[i] = i;
+    }
+
+    std::vector<bool> paired(num_leaves, false);
+
+    HattStats stats;
+    stats.stepWeights.reserve(n);
+    StepCounts counts(max_id);
+
+    auto desc_z = [&](int id) {
+        return options.descCache ? mdown[id] : tree.zDescendant(id);
+    };
+    auto traverse_up = [&](int leaf) {
+        if (options.descCache)
+            return mup[leaf];
+        int id = leaf;
+        while (tree.node(id).parent != -1)
+            id = tree.node(id).parent;
+        return id;
+    };
+
+    for (uint32_t step = 0; step < n; ++step) {
+        counts.accumulate(terms);
+
+        int64_t best_w = -1;
+        int bx = -1, by = -1, bz = -1;
+
+        if (!options.vacuumPairing) {
+            // Algorithm 1: free choice of three nodes. The weight on the
+            // new qubit does not depend on which child is X/Y/Z, so
+            // combinations suffice; children are assigned in id order.
+            const size_t m = active.size();
+            for (size_t i = 0; i < m; ++i) {
+                for (size_t j = i + 1; j < m; ++j) {
+                    for (size_t k = j + 1; k < m; ++k) {
+                        int64_t w = counts.tripleWeight(
+                            active[i], active[j], active[k]);
+                        ++stats.candidatesEvaluated;
+                        if (best_w < 0 || w < best_w) {
+                            best_w = w;
+                            bx = active[i];
+                            by = active[j];
+                            bz = active[k];
+                        }
+                    }
+                }
+            }
+        } else {
+            // Algorithm 2/3: OX free, OY forced by the pairing rule,
+            // OZ free among the rest.
+            for (int ox : active) {
+                int x = desc_z(ox);
+                assert(!paired[x]);
+                if (x == last_leaf)
+                    continue; // S_2N is discarded and never paired
+                int y = (x % 2 == 0) ? x + 1 : x - 1;
+                assert(!paired[y]);
+                int oy = traverse_up(y);
+                assert(oy != ox);
+                // Even leaf goes on the X branch so the pair reads (X, Y).
+                int cx = (x % 2 == 0) ? ox : oy;
+                int cy = (x % 2 == 0) ? oy : ox;
+                for (int oz : active) {
+                    if (oz == ox || oz == oy)
+                        continue;
+                    int64_t w = counts.tripleWeight(cx, cy, oz);
+                    ++stats.candidatesEvaluated;
+                    if (best_w < 0 || w < best_w) {
+                        best_w = w;
+                        bx = cx;
+                        by = cy;
+                        bz = oz;
+                    }
+                }
+            }
+        }
+
+        if (bx < 0)
+            throw std::logic_error("buildHattMapping: no candidate triple");
+
+        const int qubit = static_cast<int>(step);
+        const int parent = tree.addInternal(qubit, bx, by, bz);
+        assert(parent == static_cast<int>(2 * n + 1 + step));
+
+        if (options.vacuumPairing) {
+            int px = options.descCache ? mdown[bx] : tree.zDescendant(bx);
+            int py = options.descCache ? mdown[by] : tree.zDescendant(by);
+            assert(px % 2 == 0 && py == px + 1);
+            paired[px] = true;
+            paired[py] = true;
+        }
+
+        // Maintain Algorithm 3 maps: the new parent inherits the Z child's
+        // Z-descendant.
+        int zdesc = mdown[bz];
+        if (zdesc >= 0) {
+            mdown[parent] = zdesc;
+            mup[zdesc] = parent;
+        }
+
+        // Update the active set (remove children, insert parent at end:
+        // parent has the largest id so the vector stays sorted).
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [&](int id) {
+                                        return id == bx || id == by ||
+                                               id == bz;
+                                    }),
+                     active.end());
+        active.push_back(parent);
+
+        terms = reduceTerms(terms, bx, by, bz, parent);
+
+        stats.stepWeights.push_back(static_cast<uint64_t>(best_w));
+        stats.predictedWeight += static_cast<uint64_t>(best_w);
+    }
+
+    assert(active.size() == 1);
+    assert(tree.isCompleteTree());
+
+    std::vector<PauliString> strings = tree.extractStrings();
+    HattResult result{FermionQubitMapping{}, std::move(tree), stats};
+    result.mapping.numModes = n;
+    result.mapping.numQubits = n;
+    result.mapping.name = options.vacuumPairing ? "HATT" : "HATT-unopt";
+    result.mapping.majorana.reserve(2 * n);
+    for (uint32_t i = 0; i < 2 * n; ++i)
+        result.mapping.majorana.emplace_back(cplx{1.0, 0.0}, strings[i]);
+    result.stats.seconds = timer.seconds();
+    return result;
+}
+
+} // namespace hatt

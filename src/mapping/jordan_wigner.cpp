@@ -1,0 +1,26 @@
+#include "mapping/jordan_wigner.hpp"
+
+namespace hatt {
+
+FermionQubitMapping
+jordanWignerMapping(uint32_t num_modes)
+{
+    FermionQubitMapping map;
+    map.numModes = num_modes;
+    map.numQubits = num_modes;
+    map.name = "JW";
+    map.majorana.reserve(2 * num_modes);
+    for (uint32_t j = 0; j < num_modes; ++j) {
+        PauliString even(num_modes);
+        for (uint32_t k = 0; k < j; ++k)
+            even.setOp(k, PauliOp::Z);
+        PauliString odd = even;
+        even.setOp(j, PauliOp::X);
+        odd.setOp(j, PauliOp::Y);
+        map.majorana.emplace_back(cplx{1.0, 0.0}, even);
+        map.majorana.emplace_back(cplx{1.0, 0.0}, odd);
+    }
+    return map;
+}
+
+} // namespace hatt

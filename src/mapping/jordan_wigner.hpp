@@ -1,0 +1,21 @@
+#ifndef HATT_MAPPING_JORDAN_WIGNER_HPP
+#define HATT_MAPPING_JORDAN_WIGNER_HPP
+
+/**
+ * @file
+ * Jordan-Wigner transformation [22]:
+ *   M_2j   = Z_{j-1} ... Z_0 X_j
+ *   M_2j+1 = Z_{j-1} ... Z_0 Y_j
+ * Linear worst-case Pauli weight; preserves the vacuum state.
+ */
+
+#include "mapping/mapping.hpp"
+
+namespace hatt {
+
+/** Build the Jordan-Wigner mapping for @p num_modes modes. */
+FermionQubitMapping jordanWignerMapping(uint32_t num_modes);
+
+} // namespace hatt
+
+#endif // HATT_MAPPING_JORDAN_WIGNER_HPP

@@ -1,0 +1,42 @@
+#include "mapping/mapping.hpp"
+
+#include <cassert>
+
+namespace hatt {
+
+std::vector<PauliTerm>
+FermionQubitMapping::annihilationOperator(uint32_t mode) const
+{
+    assert(2 * mode + 1 < majorana.size());
+    PauliTerm even = majorana[2 * mode];
+    PauliTerm odd = majorana[2 * mode + 1];
+    even.coeff *= 0.5;
+    odd.coeff *= cplx{0.0, 0.5};
+    return {even, odd};
+}
+
+std::vector<PauliTerm>
+FermionQubitMapping::creationOperator(uint32_t mode) const
+{
+    assert(2 * mode + 1 < majorana.size());
+    PauliTerm even = majorana[2 * mode];
+    PauliTerm odd = majorana[2 * mode + 1];
+    even.coeff *= 0.5;
+    odd.coeff *= cplx{0.0, -0.5};
+    return {even, odd};
+}
+
+std::string
+mappingKindName(MappingKind kind)
+{
+    switch (kind) {
+      case MappingKind::JordanWigner: return "JW";
+      case MappingKind::BravyiKitaev: return "BK";
+      case MappingKind::BalancedTernaryTree: return "BTT";
+      case MappingKind::Hatt: return "HATT";
+      case MappingKind::HattUnoptimized: return "HATT-unopt";
+    }
+    return "?";
+}
+
+} // namespace hatt

@@ -1,0 +1,317 @@
+#include "mapping/search.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace hatt {
+
+namespace {
+
+/** Per-leaf path to the root: (internal node id, branch) pairs. */
+std::vector<std::vector<std::pair<int, int>>>
+leafPaths(const TernaryTree &tree)
+{
+    std::vector<std::vector<std::pair<int, int>>> paths(tree.numLeaves());
+    for (uint32_t l = 0; l < tree.numLeaves(); ++l) {
+        int id = static_cast<int>(l);
+        while (tree.node(id).parent != -1) {
+            int p = tree.node(id).parent;
+            const TreeNode &pn = tree.node(p);
+            int branch = pn.child[BranchX] == id   ? BranchX
+                         : pn.child[BranchY] == id ? BranchY
+                                                   : BranchZ;
+            paths[l].emplace_back(p, branch);
+            id = p;
+        }
+    }
+    return paths;
+}
+
+/** Weight evaluator reusing precomputed paths; scratch arrays reused. */
+class WeightEvaluator
+{
+  public:
+    WeightEvaluator(const TernaryTree &tree, const MajoranaPolynomial &poly)
+        : paths_(leafPaths(tree)), poly_(poly),
+          counts_(tree.numNodes(), {0, 0, 0})
+    {
+    }
+
+    uint64_t
+    evaluate(const std::vector<int> &leaf_of_majorana)
+    {
+        uint64_t total = 0;
+        for (const auto &term : poly_.terms()) {
+            if (term.indices.empty())
+                continue;
+            touched_.clear();
+            for (uint32_t mi : term.indices) {
+                int leaf = leaf_of_majorana[mi];
+                for (auto [node, branch] : paths_[leaf]) {
+                    if (counts_[node][0] == 0 && counts_[node][1] == 0 &&
+                        counts_[node][2] == 0)
+                        touched_.push_back(node);
+                    counts_[node][branch] ^= 1;
+                }
+            }
+            for (int node : touched_) {
+                auto &c = counts_[node];
+                // Product X^a Y^b Z^c is identity iff a == b == c.
+                if (!(c[0] == c[1] && c[1] == c[2]))
+                    ++total;
+                c = {0, 0, 0};
+            }
+        }
+        return total;
+    }
+
+  private:
+    std::vector<std::vector<std::pair<int, int>>> paths_;
+    const MajoranaPolynomial &poly_;
+    std::vector<std::array<uint8_t, 3>> counts_;
+    std::vector<int> touched_;
+};
+
+/** Recursively enumerate complete ternary tree shapes with n internals. */
+struct Shape
+{
+    // children[b] == nullptr means leaf.
+    std::array<const Shape *, 3> children{nullptr, nullptr, nullptr};
+    bool leaf = true;
+};
+
+class ShapeEnumerator
+{
+  public:
+    const std::vector<const Shape *> &
+    shapes(uint32_t n)
+    {
+        if (cache_.size() > n && !cache_[n].empty())
+            return cache_[n];
+        if (cache_.size() <= n)
+            cache_.resize(n + 1);
+        if (n == 0) {
+            cache_[0] = {makeLeaf()};
+            return cache_[0];
+        }
+        std::vector<const Shape *> out;
+        for (uint32_t a = 0; a < n; ++a) {
+            for (uint32_t b = 0; a + b < n; ++b) {
+                uint32_t c = n - 1 - a - b;
+                for (const Shape *sa : shapes(a))
+                    for (const Shape *sb : shapes(b))
+                        for (const Shape *sc : shapes(c))
+                            out.push_back(makeNode(sa, sb, sc));
+            }
+        }
+        cache_[n] = std::move(out);
+        return cache_[n];
+    }
+
+  private:
+    const Shape *
+    makeLeaf()
+    {
+        pool_.push_back(std::make_unique<Shape>());
+        return pool_.back().get();
+    }
+
+    const Shape *
+    makeNode(const Shape *a, const Shape *b, const Shape *c)
+    {
+        auto s = std::make_unique<Shape>();
+        s->leaf = false;
+        s->children = {a, b, c};
+        pool_.push_back(std::move(s));
+        return pool_.back().get();
+    }
+
+    std::vector<std::unique_ptr<Shape>> pool_;
+    std::vector<std::vector<const Shape *>> cache_;
+};
+
+/** Instantiate a shape as a TernaryTree; leaves in DFS (X,Y,Z) order. */
+TernaryTree
+buildTreeFromShape(const Shape *shape, uint32_t num_modes)
+{
+    TernaryTree tree(num_modes);
+    int next_leaf = 0;
+    int next_qubit = 0;
+    // Returns node id of the subtree root; leaves take ids 0..2N in DFS
+    // order, internal nodes are appended bottom-up via addInternal.
+    std::function<int(const Shape *)> build =
+        [&](const Shape *s) -> int {
+        if (s->leaf)
+            return next_leaf++;
+        int x = build(s->children[0]);
+        int y = build(s->children[1]);
+        int z = build(s->children[2]);
+        return tree.addInternal(next_qubit++, x, y, z);
+    };
+    build(shape);
+    return tree;
+}
+
+/** Random complete tree via random bottom-up merges. */
+TernaryTree
+randomTree(uint32_t num_modes, Rng &rng)
+{
+    TernaryTree tree(num_modes);
+    std::vector<int> active(2 * num_modes + 1);
+    std::iota(active.begin(), active.end(), 0);
+    int qubit = 0;
+    while (active.size() > 1) {
+        std::array<int, 3> picked;
+        for (int k = 0; k < 3; ++k) {
+            size_t idx = rng.nextInt(active.size());
+            picked[k] = active[idx];
+            active.erase(active.begin() + static_cast<long>(idx));
+        }
+        active.push_back(
+            tree.addInternal(qubit++, picked[0], picked[1], picked[2]));
+    }
+    return tree;
+}
+
+FermionQubitMapping
+mappingFromAssignment(const TernaryTree &tree,
+                      const std::vector<int> &leaf_of_majorana,
+                      const std::string &name)
+{
+    std::vector<PauliString> strings = tree.extractStrings();
+    FermionQubitMapping map;
+    map.numModes = tree.numModes();
+    map.numQubits = tree.numModes();
+    map.name = name;
+    for (uint32_t i = 0; i < 2 * tree.numModes(); ++i)
+        map.majorana.emplace_back(cplx{1.0, 0.0},
+                                  strings[leaf_of_majorana[i]]);
+    return map;
+}
+
+} // namespace
+
+uint64_t
+treeAssignmentWeight(const TernaryTree &tree,
+                     const std::vector<int> &leaf_of_majorana,
+                     const MajoranaPolynomial &poly)
+{
+    WeightEvaluator eval(tree, poly);
+    return eval.evaluate(leaf_of_majorana);
+}
+
+std::optional<SearchResult>
+exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes)
+{
+    const uint32_t n = poly.numModes();
+    if (n == 0 || n > max_modes)
+        return std::nullopt;
+
+    ShapeEnumerator shapes;
+    uint64_t best = UINT64_MAX;
+    uint64_t evaluated = 0;
+    TernaryTree best_tree(n);
+    std::vector<int> best_assign;
+
+    const uint32_t num_leaves = 2 * n + 1;
+    for (const Shape *shape : shapes.shapes(n)) {
+        TernaryTree tree = buildTreeFromShape(shape, n);
+        WeightEvaluator eval(tree, poly);
+        // Permute which leaf carries each of the 2N+1 labels; label 2N is
+        // the discarded string.
+        std::vector<int> perm(num_leaves);
+        std::iota(perm.begin(), perm.end(), 0);
+        do {
+            // leaf_of_majorana[i] = position of label i
+            std::vector<int> assign(num_leaves);
+            for (uint32_t pos = 0; pos < num_leaves; ++pos)
+                assign[perm[pos]] = static_cast<int>(pos);
+            assign.resize(2 * n);
+            uint64_t w = eval.evaluate(assign);
+            ++evaluated;
+            if (w < best) {
+                best = w;
+                best_tree = tree;
+                best_assign = assign;
+            }
+        } while (std::next_permutation(perm.begin(), perm.end()));
+    }
+
+    SearchResult res;
+    res.mapping = mappingFromAssignment(best_tree, best_assign, "FH*");
+    res.weight = best;
+    res.evaluated = evaluated;
+    return res;
+}
+
+SearchResult
+stochasticTreeSearch(const MajoranaPolynomial &poly, uint32_t restarts,
+                     uint32_t max_sweeps, uint64_t seed)
+{
+    const uint32_t n = poly.numModes();
+    Rng rng(seed);
+    const uint32_t num_leaves = 2 * n + 1;
+
+    uint64_t best = UINT64_MAX;
+    uint64_t evaluated = 0;
+    TernaryTree best_tree(n);
+    std::vector<int> best_assign;
+
+    for (uint32_t r = 0; r < restarts; ++r) {
+        TernaryTree tree = randomTree(n, rng);
+        WeightEvaluator eval(tree, poly);
+
+        // labels[pos] = Majorana label at leaf position pos (2N = discard).
+        std::vector<int> labels(num_leaves);
+        std::iota(labels.begin(), labels.end(), 0);
+        std::shuffle(labels.begin(), labels.end(), rng.engine());
+
+        auto assignment = [&]() {
+            std::vector<int> assign(num_leaves);
+            for (uint32_t pos = 0; pos < num_leaves; ++pos)
+                assign[labels[pos]] = static_cast<int>(pos);
+            assign.resize(2 * n);
+            return assign;
+        };
+
+        uint64_t cur = eval.evaluate(assignment());
+        ++evaluated;
+        for (uint32_t sweep = 0; sweep < max_sweeps; ++sweep) {
+            bool improved = false;
+            for (uint32_t i = 0; i < num_leaves; ++i) {
+                for (uint32_t j = i + 1; j < num_leaves; ++j) {
+                    std::swap(labels[i], labels[j]);
+                    uint64_t w = eval.evaluate(assignment());
+                    ++evaluated;
+                    if (w < cur) {
+                        cur = w;
+                        improved = true;
+                    } else {
+                        std::swap(labels[i], labels[j]);
+                    }
+                }
+            }
+            if (!improved)
+                break;
+        }
+        if (cur < best) {
+            best = cur;
+            best_tree = tree;
+            best_assign = assignment();
+        }
+    }
+
+    SearchResult res;
+    res.mapping = mappingFromAssignment(best_tree, best_assign, "FH*");
+    res.weight = best;
+    res.evaluated = evaluated;
+    return res;
+}
+
+} // namespace hatt

@@ -1,0 +1,66 @@
+#ifndef HATT_MAPPING_SEARCH_HPP
+#define HATT_MAPPING_SEARCH_HPP
+
+/**
+ * @file
+ * Search-based mapping baselines standing in for Fermihedral [25].
+ *
+ * Fermihedral finds Pauli-weight-optimal mappings with a SAT solver; no
+ * SAT solver is available offline, so this module provides:
+ *  - exhaustiveTreeSearch: exact minimum over ALL complete ternary trees
+ *    and ALL leaf assignments (feasible for N <= 4). At these sizes the
+ *    ternary-tree family contains weight-optimal mappings for the
+ *    benchmarks we reproduce, mirroring "FH (optimal)" at small scale.
+ *  - stochasticTreeSearch: seeded random-restart hill climbing over trees
+ *    and assignments, mirroring "FH (approximate)" at medium scale.
+ *
+ * Both return plain FermionQubitMappings named "FH*".
+ */
+
+#include <cstdint>
+#include <optional>
+
+#include "fermion/majorana.hpp"
+#include "mapping/mapping.hpp"
+#include "tree/ternary_tree.hpp"
+
+namespace hatt {
+
+/** Result of a mapping search. */
+struct SearchResult
+{
+    FermionQubitMapping mapping;
+    uint64_t weight = 0;     //!< qubit-Hamiltonian Pauli weight achieved
+    uint64_t evaluated = 0;  //!< number of candidate mappings scored
+};
+
+/**
+ * Pauli weight of @p poly under the mapping defined by @p tree with
+ * Majorana i assigned to leaf @p leaf_of_majorana[i]. Computed by path
+ * counting without materializing Pauli strings (fast inner loop).
+ */
+uint64_t treeAssignmentWeight(const TernaryTree &tree,
+                              const std::vector<int> &leaf_of_majorana,
+                              const MajoranaPolynomial &poly);
+
+/**
+ * Exact minimum over all complete ternary trees x leaf assignments.
+ * Returns nullopt when poly.numModes() > max_modes (cost explodes as
+ * (#trees) * (2N+1)!).
+ */
+std::optional<SearchResult>
+exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes = 3);
+
+/**
+ * Random-restart hill climbing: random complete trees with random leaf
+ * assignments, improved by leaf-label swaps until no improving swap
+ * exists, best of @p restarts restarts. Deterministic given @p seed.
+ */
+SearchResult stochasticTreeSearch(const MajoranaPolynomial &poly,
+                                  uint32_t restarts = 8,
+                                  uint32_t max_sweeps = 30,
+                                  uint64_t seed = 1234);
+
+} // namespace hatt
+
+#endif // HATT_MAPPING_SEARCH_HPP

@@ -1,0 +1,85 @@
+#include "mapping/verify.hpp"
+
+#include <sstream>
+
+namespace hatt {
+
+MappingCheck
+verifyMapping(const FermionQubitMapping &map)
+{
+    const size_t m = map.majorana.size();
+    if (m != 2 * map.numModes)
+        return {false, "wrong number of Majorana operators"};
+
+    for (size_t i = 0; i < m; ++i) {
+        if (std::abs(std::abs(map.majorana[i].coeff) - 1.0) > kNumTol) {
+            std::ostringstream ss;
+            ss << "Majorana " << i << " has non-unit coefficient";
+            return {false, ss.str()};
+        }
+        if (map.majorana[i].string.isIdentity()) {
+            std::ostringstream ss;
+            ss << "Majorana " << i << " is the identity";
+            return {false, ss.str()};
+        }
+    }
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = i + 1; j < m; ++j) {
+            if (map.majorana[i].string == map.majorana[j].string) {
+                std::ostringstream ss;
+                ss << "Majoranas " << i << " and " << j << " coincide";
+                return {false, ss.str()};
+            }
+            if (map.majorana[i].string.commutesWith(
+                    map.majorana[j].string)) {
+                std::ostringstream ss;
+                ss << "Majoranas " << i << " and " << j << " commute";
+                return {false, ss.str()};
+            }
+        }
+    }
+    return {true, ""};
+}
+
+bool
+preservesVacuum(const FermionQubitMapping &map)
+{
+    for (uint32_t j = 0; j < map.numModes; ++j) {
+        const PauliTerm &even = map.majorana[2 * j];
+        const PauliTerm &odd = map.majorana[2 * j + 1];
+
+        auto [flips_e, ph_e] = even.string.applyToZeros();
+        auto [flips_o, ph_o] = odd.string.applyToZeros();
+
+        // a_j|0> = (c_e S_e + i c_o S_o)|0> / 2. If the two strings flip
+        // different qubit sets the amplitudes live on different basis
+        // states and cannot cancel.
+        if (flips_e != flips_o)
+            return false;
+        cplx amp = even.coeff * phaseFromExponent(ph_e) +
+                   cplx{0.0, 1.0} * odd.coeff * phaseFromExponent(ph_o);
+        if (std::abs(amp) > kNumTol)
+            return false;
+    }
+    return true;
+}
+
+uint64_t
+operatorPauliWeight(const FermionQubitMapping &map)
+{
+    uint64_t w = 0;
+    for (const auto &t : map.majorana)
+        w += t.string.weight();
+    return w;
+}
+
+double
+averageOperatorWeight(const FermionQubitMapping &map)
+{
+    if (map.majorana.empty())
+        return 0.0;
+    return static_cast<double>(operatorPauliWeight(map)) /
+           static_cast<double>(map.majorana.size());
+}
+
+} // namespace hatt

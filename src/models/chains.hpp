@@ -1,0 +1,34 @@
+#ifndef HATT_MODELS_CHAINS_HPP
+#define HATT_MODELS_CHAINS_HPP
+
+/**
+ * @file
+ * Synthetic Hamiltonians used by the scalability study (Fig. 12) and the
+ * randomized property tests.
+ */
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "fermion/majorana.hpp"
+
+namespace hatt {
+
+/**
+ * The paper's Fig. 12 workload: H = sum_{i=0}^{2N-1} M_i (every Majorana
+ * operator once, unit coefficient).
+ */
+MajoranaPolynomial majoranaChain(uint32_t num_modes);
+
+/**
+ * Random Majorana polynomial: @p num_terms monomials of degree 2 or 4
+ * with random distinct indices and unit-magnitude random real
+ * coefficients. Used by property tests; deterministic given @p seed.
+ */
+MajoranaPolynomial randomMajoranaPolynomial(uint32_t num_modes,
+                                            uint32_t num_terms,
+                                            uint64_t seed);
+
+} // namespace hatt
+
+#endif // HATT_MODELS_CHAINS_HPP

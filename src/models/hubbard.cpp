@@ -1,0 +1,47 @@
+#include "models/hubbard.hpp"
+
+#include <vector>
+
+namespace hatt {
+
+FermionHamiltonian
+hubbardModel(const HubbardParams &params)
+{
+    const uint32_t sites = params.rows * params.cols;
+    FermionHamiltonian hf(2 * sites);
+
+    auto site = [&](uint32_t r, uint32_t c) { return r * params.cols + c; };
+    auto mode = [&](uint32_t s, int spin) {
+        return 2 * s + static_cast<uint32_t>(spin);
+    };
+
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (uint32_t r = 0; r < params.rows; ++r) {
+        for (uint32_t c = 0; c < params.cols; ++c) {
+            if (c + 1 < params.cols)
+                edges.emplace_back(site(r, c), site(r, c + 1));
+            else if (params.periodic && params.cols > 2)
+                edges.emplace_back(site(r, c), site(r, 0));
+            if (r + 1 < params.rows)
+                edges.emplace_back(site(r, c), site(r + 1, c));
+            else if (params.periodic && params.rows > 2)
+                edges.emplace_back(site(r, c), site(0, c));
+        }
+    }
+
+    for (auto [i, j] : edges) {
+        for (int spin = 0; spin < 2; ++spin) {
+            hf.add(-params.t,
+                   {create(mode(i, spin)), annihilate(mode(j, spin))});
+            hf.add(-params.t,
+                   {create(mode(j, spin)), annihilate(mode(i, spin))});
+        }
+    }
+    for (uint32_t s = 0; s < sites; ++s) {
+        hf.add(params.u, {create(mode(s, 0)), annihilate(mode(s, 0)),
+                          create(mode(s, 1)), annihilate(mode(s, 1))});
+    }
+    return hf;
+}
+
+} // namespace hatt

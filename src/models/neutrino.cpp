@@ -1,0 +1,67 @@
+#include "models/neutrino.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace hatt {
+
+FermionHamiltonian
+neutrinoModel(const NeutrinoParams &params)
+{
+    const uint32_t p = params.sites;
+    const uint32_t f = params.flavors;
+    FermionHamiltonian hf(2 * p * f);
+
+    auto mode = [&](uint32_t h, uint32_t i, uint32_t a) {
+        return (h * p + i) * f + a;
+    };
+
+    // Neutrino mass-like hierarchy (arbitrary units); momenta 1..P.
+    std::vector<double> mass(f);
+    for (uint32_t a = 0; a < f; ++a)
+        mass[a] = 0.01 * (a + 1) * (a + 1);
+    auto momentum = [](uint32_t i) { return static_cast<double>(i + 1); };
+
+    // One-body kinetic term.
+    for (uint32_t h = 0; h < 2; ++h)
+        for (uint32_t i = 0; i < p; ++i)
+            for (uint32_t a = 0; a < f; ++a) {
+                double e = std::sqrt(momentum(i) * momentum(i) +
+                                     mass[a] * mass[a]);
+                hf.add(e, {create(mode(h, i, a)),
+                           annihilate(mode(h, i, a))});
+            }
+
+    // Momentum-conserving two-body forward scattering.
+    for (uint32_t i1 = 0; i1 < p; ++i1) {
+        for (uint32_t i2 = 0; i2 < p; ++i2) {
+            for (uint32_t i3 = 0; i3 < p; ++i3) {
+                int64_t i4s = static_cast<int64_t>(i1) + i2 - i3;
+                if (i4s < 0 || i4s >= static_cast<int64_t>(p))
+                    continue;
+                uint32_t i4 = static_cast<uint32_t>(i4s);
+                double c = params.mu * (momentum(i2) - momentum(i1)) *
+                           (momentum(i4) - momentum(i3));
+                if (c == 0.0)
+                    continue;
+                for (uint32_t a = 0; a < f; ++a) {
+                    for (uint32_t b = 0; b < f; ++b) {
+                        for (uint32_t h = 0; h < 2; ++h) {
+                            for (uint32_t hp = 0; hp < 2; ++hp) {
+                                hf.addWithConjugate(
+                                    0.5 * c,
+                                    {create(mode(h, i1, a)),
+                                     annihilate(mode(h, i3, a)),
+                                     create(mode(hp, i2, b)),
+                                     annihilate(mode(hp, i4, b))});
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return hf;
+}
+
+} // namespace hatt

@@ -1,0 +1,40 @@
+#ifndef HATT_MODELS_NEUTRINO_HPP
+#define HATT_MODELS_NEUTRINO_HPP
+
+/**
+ * @file
+ * Collective neutrino oscillation Hamiltonian on a 1D momentum lattice
+ * (paper Sec. V-A.3):
+ *
+ *   H = sum_{i,a,h} sqrt(p_i^2 + m_a^2) a†_{a,i,h} a_{a,i,h}
+ *     + sum_{i1,i2,i3; i4=i1+i2-i3} sum_{a,b,h,h'}
+ *         C_{i1,i2,i3} a†_{a,i1,h} a_{a,i3,h} a†_{b,i2,h'} a_{b,i4,h'}
+ *
+ * with C_{i1,i2,i3} = mu * (p_{i2} - p_{i1}) * (p_{i4} - p_{i3}) and
+ * momentum conservation i1 + i2 = i3 + i4 on the lattice.
+ *
+ * The paper labels cases "P x Ff" with 2*P*F modes (e.g. 3x2F = 12); the
+ * factor two is modelled as a helicity index h. Modes are laid out as
+ * mode = ((h * P + i) * F) + a. Each two-body term is added with its
+ * Hermitian conjugate at half strength so the Hamiltonian is Hermitian by
+ * construction.
+ */
+
+#include "fermion/fermion_op.hpp"
+
+namespace hatt {
+
+/** Parameters of the collective-oscillation benchmark instance. */
+struct NeutrinoParams
+{
+    uint32_t sites = 3;    //!< momentum lattice points P
+    uint32_t flavors = 2;  //!< neutrino flavors F
+    double mu = 0.1;       //!< two-body coupling strength
+};
+
+/** Build the collective neutrino oscillation Hamiltonian (2*P*F modes). */
+FermionHamiltonian neutrinoModel(const NeutrinoParams &params);
+
+} // namespace hatt
+
+#endif // HATT_MODELS_NEUTRINO_HPP

@@ -1,0 +1,292 @@
+#include "pauli/pauli_string.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/linalg.hpp"
+
+namespace hatt {
+
+namespace {
+
+constexpr uint32_t kWordBits = 64;
+
+uint32_t
+wordCount(uint32_t num_qubits)
+{
+    return (num_qubits + kWordBits - 1) / kWordBits;
+}
+
+} // namespace
+
+char
+pauliOpChar(PauliOp op)
+{
+    switch (op) {
+      case PauliOp::I: return 'I';
+      case PauliOp::X: return 'X';
+      case PauliOp::Y: return 'Y';
+      case PauliOp::Z: return 'Z';
+    }
+    return '?';
+}
+
+std::pair<PauliOp, int>
+pauliOpProduct(PauliOp a, PauliOp b)
+{
+    auto bits = [](PauliOp op) -> std::pair<int, int> {
+        switch (op) {
+          case PauliOp::I: return {0, 0};
+          case PauliOp::X: return {1, 0};
+          case PauliOp::Y: return {1, 1};
+          case PauliOp::Z: return {0, 1};
+        }
+        return {0, 0};
+    };
+    auto [xa, za] = bits(a);
+    auto [xb, zb] = bits(b);
+    int xc = xa ^ xb;
+    int zc = za ^ zb;
+    // literal(a)*literal(b) = i^{ya+yb-yc+2*za*xb} literal(c)
+    int phase = (xa & za) + (xb & zb) - (xc & zc) + 2 * (za & xb);
+    PauliOp c;
+    if (!xc && !zc)
+        c = PauliOp::I;
+    else if (xc && !zc)
+        c = PauliOp::X;
+    else if (xc && zc)
+        c = PauliOp::Y;
+    else
+        c = PauliOp::Z;
+    return {c, ((phase % 4) + 4) % 4};
+}
+
+PauliString::PauliString(uint32_t num_qubits)
+    : num_qubits_(num_qubits),
+      x_(wordCount(num_qubits), 0),
+      z_(wordCount(num_qubits), 0)
+{
+}
+
+PauliString
+PauliString::fromLabel(const std::string &label)
+{
+    PauliString s(static_cast<uint32_t>(label.size()));
+    for (size_t i = 0; i < label.size(); ++i) {
+        uint32_t qubit = static_cast<uint32_t>(label.size() - 1 - i);
+        switch (label[i]) {
+          case 'I': break;
+          case 'X': s.setOp(qubit, PauliOp::X); break;
+          case 'Y': s.setOp(qubit, PauliOp::Y); break;
+          case 'Z': s.setOp(qubit, PauliOp::Z); break;
+          default:
+            throw std::invalid_argument(
+                "PauliString::fromLabel: bad char in " + label);
+        }
+    }
+    return s;
+}
+
+PauliString
+PauliString::fromOps(const std::vector<PauliOp> &ops)
+{
+    PauliString s(static_cast<uint32_t>(ops.size()));
+    for (uint32_t q = 0; q < ops.size(); ++q)
+        s.setOp(q, ops[q]);
+    return s;
+}
+
+PauliOp
+PauliString::op(uint32_t qubit) const
+{
+    assert(qubit < num_qubits_);
+    uint32_t w = qubit / kWordBits;
+    uint64_t mask = 1ULL << (qubit % kWordBits);
+    bool x = x_[w] & mask;
+    bool z = z_[w] & mask;
+    if (x && z)
+        return PauliOp::Y;
+    if (x)
+        return PauliOp::X;
+    if (z)
+        return PauliOp::Z;
+    return PauliOp::I;
+}
+
+void
+PauliString::setOp(uint32_t qubit, PauliOp op)
+{
+    assert(qubit < num_qubits_);
+    uint32_t w = qubit / kWordBits;
+    uint64_t mask = 1ULL << (qubit % kWordBits);
+    x_[w] &= ~mask;
+    z_[w] &= ~mask;
+    if (op == PauliOp::X || op == PauliOp::Y)
+        x_[w] |= mask;
+    if (op == PauliOp::Z || op == PauliOp::Y)
+        z_[w] |= mask;
+}
+
+uint32_t
+PauliString::weight() const
+{
+    uint32_t c = 0;
+    for (size_t w = 0; w < x_.size(); ++w)
+        c += std::popcount(x_[w] | z_[w]);
+    return c;
+}
+
+bool
+PauliString::isIdentity() const
+{
+    for (size_t w = 0; w < x_.size(); ++w)
+        if (x_[w] | z_[w])
+            return false;
+    return true;
+}
+
+bool
+PauliString::commutesWith(const PauliString &other) const
+{
+    assert(num_qubits_ == other.num_qubits_);
+    int acc = 0;
+    for (size_t w = 0; w < x_.size(); ++w) {
+        acc += std::popcount(x_[w] & other.z_[w]);
+        acc += std::popcount(z_[w] & other.x_[w]);
+    }
+    return (acc & 1) == 0;
+}
+
+int
+PauliString::multiplyRight(const PauliString &rhs)
+{
+    assert(num_qubits_ == rhs.num_qubits_);
+    // phase = y(a) + y(b) - y(c) + 2*|za & xb|  (mod 4), accumulated
+    // across qubits via popcounts of the Y masks.
+    int phase = 0;
+    for (size_t w = 0; w < x_.size(); ++w) {
+        uint64_t ya = x_[w] & z_[w];
+        uint64_t yb = rhs.x_[w] & rhs.z_[w];
+        uint64_t xc = x_[w] ^ rhs.x_[w];
+        uint64_t zc = z_[w] ^ rhs.z_[w];
+        uint64_t yc = xc & zc;
+        phase += std::popcount(ya) + std::popcount(yb) - std::popcount(yc);
+        phase += 2 * std::popcount(z_[w] & rhs.x_[w]);
+        x_[w] = xc;
+        z_[w] = zc;
+    }
+    return ((phase % 4) + 4) % 4;
+}
+
+std::pair<PauliString, int>
+PauliString::multiply(const PauliString &a, const PauliString &b)
+{
+    PauliString out = a;
+    int phase = out.multiplyRight(b);
+    return {out, phase};
+}
+
+std::pair<std::vector<uint64_t>, int>
+PauliString::applyToZeros() const
+{
+    // Per qubit: X|0>=|1>, Y|0>=i|1>, Z|0>=|0>, I|0>=|0>. Net phase = i^{#Y}.
+    int phase = 0;
+    for (size_t w = 0; w < x_.size(); ++w)
+        phase += std::popcount(x_[w] & z_[w]);
+    return {x_, ((phase % 4) + 4) % 4};
+}
+
+bool
+PauliString::isDiagonal() const
+{
+    for (uint64_t word : x_)
+        if (word)
+            return false;
+    return true;
+}
+
+std::string
+PauliString::toString() const
+{
+    std::string s(num_qubits_, 'I');
+    for (uint32_t q = 0; q < num_qubits_; ++q)
+        s[num_qubits_ - 1 - q] = pauliOpChar(op(q));
+    return s;
+}
+
+std::string
+PauliString::toCompactString() const
+{
+    std::string s;
+    for (uint32_t qi = num_qubits_; qi-- > 0;) {
+        PauliOp o = op(qi);
+        if (o == PauliOp::I)
+            continue;
+        s += pauliOpChar(o);
+        s += std::to_string(qi);
+    }
+    return s.empty() ? std::string("I") : s;
+}
+
+ComplexMatrix
+PauliString::toMatrix() const
+{
+    if (num_qubits_ > 14)
+        throw std::invalid_argument("PauliString::toMatrix: too many qubits");
+    const size_t dim = size_t{1} << num_qubits_;
+
+    // P|col> = i^k |col ^ xmask> with k = #Y + 2*(number of Z/Y bits set in
+    // col). Build column by column.
+    ComplexMatrix m(dim, dim);
+    uint64_t xmask = x_.empty() ? 0 : x_[0];
+    uint64_t zmask = z_.empty() ? 0 : z_[0];
+    int ny = std::popcount(xmask & zmask);
+    for (size_t col = 0; col < dim; ++col) {
+        // X^x Z^z |col> = (-1)^{z.col} |col ^ x>; literal adds i^{#Y}.
+        int k = ny + 2 * std::popcount(zmask & col);
+        size_t row = col ^ xmask;
+        m(row, col) = phaseFromExponent(k);
+    }
+    return m;
+}
+
+bool
+PauliString::operator==(const PauliString &other) const
+{
+    return num_qubits_ == other.num_qubits_ && x_ == other.x_ &&
+           z_ == other.z_;
+}
+
+bool
+PauliString::operator<(const PauliString &other) const
+{
+    if (num_qubits_ != other.num_qubits_)
+        return num_qubits_ < other.num_qubits_;
+    // Compare from the highest word down so ordering matches the string
+    // form's lexicographic order reasonably closely.
+    for (size_t w = x_.size(); w-- > 0;) {
+        if (x_[w] != other.x_[w])
+            return x_[w] < other.x_[w];
+        if (z_[w] != other.z_[w])
+            return z_[w] < other.z_[w];
+    }
+    return false;
+}
+
+size_t
+PauliString::hashValue() const
+{
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ num_qubits_;
+    auto mix = [&h](uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        h *= 0xff51afd7ed558ccdULL;
+    };
+    for (uint64_t w : x_)
+        mix(w);
+    for (uint64_t w : z_)
+        mix(w);
+    return static_cast<size_t>(h);
+}
+
+} // namespace hatt

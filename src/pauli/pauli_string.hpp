@@ -1,0 +1,131 @@
+#ifndef HATT_PAULI_PAULI_STRING_HPP
+#define HATT_PAULI_PAULI_STRING_HPP
+
+/**
+ * @file
+ * Pauli strings over N qubits in the packed symplectic (X/Z bit-mask)
+ * representation, with phase-exact multiplication.
+ *
+ * A literal Pauli string is a tensor product of {I, X, Y, Z} with no global
+ * phase. Internally each qubit stores a pair of bits (x, z):
+ *   I=(0,0), X=(1,0), Z=(0,1), Y=(1,1),
+ * and the literal operator equals i^{x&z} X^x Z^z per qubit (Y = iXZ).
+ * Multiplication of two literal strings yields a third literal string times
+ * a power of i, which multiplyPhase() computes exactly.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hatt {
+
+class ComplexMatrix;
+
+/** Single-qubit Pauli operator label. */
+enum class PauliOp : uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
+
+/** Render a PauliOp as its letter. */
+char pauliOpChar(PauliOp op);
+
+/** Product of two single-qubit Paulis: returns (result, i-phase exponent). */
+std::pair<PauliOp, int> pauliOpProduct(PauliOp a, PauliOp b);
+
+/**
+ * A literal N-qubit Pauli string (no stored coefficient).
+ *
+ * Qubit 0 is the rightmost character in the string form, matching the
+ * paper's convention (e.g. "XYIZ" has Z on qubit 0 and X on qubit 3).
+ */
+class PauliString
+{
+  public:
+    PauliString() = default;
+
+    /** All-identity string over @p num_qubits qubits. */
+    explicit PauliString(uint32_t num_qubits);
+
+    /**
+     * Parse the N-length string form, leftmost char = qubit N-1.
+     * @throws std::invalid_argument on characters outside IXYZ.
+     */
+    static PauliString fromLabel(const std::string &label);
+
+    /** Build from per-qubit ops, ops[q] acting on qubit q. */
+    static PauliString fromOps(const std::vector<PauliOp> &ops);
+
+    uint32_t numQubits() const { return num_qubits_; }
+
+    PauliOp op(uint32_t qubit) const;
+    void setOp(uint32_t qubit, PauliOp op);
+
+    /** Number of non-identity single-qubit operators. */
+    uint32_t weight() const;
+
+    bool isIdentity() const;
+
+    /** True iff the two strings commute (symplectic inner product = 0). */
+    bool commutesWith(const PauliString &other) const;
+
+    /**
+     * In-place right-multiplication: *this <- (*this) * rhs.
+     * @return the exponent k such that old * rhs = i^k * new (mod 4).
+     */
+    int multiplyRight(const PauliString &rhs);
+
+    /** Out-of-place product: a * b = i^k * result. */
+    static std::pair<PauliString, int> multiply(const PauliString &a,
+                                                const PauliString &b);
+
+    /**
+     * Action on the all-zeros computational basis state.
+     * P|0...0> = i^k |flips> where flips is the X bit mask; returns the
+     * flip mask words and the i-exponent k. Diagonal ops contribute only
+     * Z eigenvalues, all +1 on |0>, so k counts Y phases.
+     */
+    std::pair<std::vector<uint64_t>, int> applyToZeros() const;
+
+    /** True iff the string is diagonal (contains only I and Z). */
+    bool isDiagonal() const;
+
+    /** N-length string form ("XYIZ"), leftmost char = highest qubit. */
+    std::string toString() const;
+
+    /** Compact form ("X3Y2Z0"); identity renders as "I". */
+    std::string toCompactString() const;
+
+    /** Dense 2^N x 2^N matrix; intended for N <= ~12 (tests only). */
+    ComplexMatrix toMatrix() const;
+
+    bool operator==(const PauliString &other) const;
+    bool operator!=(const PauliString &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Strict weak order for use in sorted containers / term scheduling. */
+    bool operator<(const PauliString &other) const;
+
+    /** Hash over the packed words (for PauliSum compression). */
+    size_t hashValue() const;
+
+    const std::vector<uint64_t> &xWords() const { return x_; }
+    const std::vector<uint64_t> &zWords() const { return z_; }
+
+  private:
+    uint32_t num_qubits_ = 0;
+    std::vector<uint64_t> x_;
+    std::vector<uint64_t> z_;
+};
+
+/** Hash functor so PauliString can key unordered containers. */
+struct PauliStringHash
+{
+    size_t operator()(const PauliString &s) const { return s.hashValue(); }
+};
+
+} // namespace hatt
+
+#endif // HATT_PAULI_PAULI_STRING_HPP

@@ -1,0 +1,186 @@
+#include "pauli/pauli_sum.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/linalg.hpp"
+
+namespace hatt {
+
+PauliTerm
+PauliTerm::multiply(const PauliTerm &a, const PauliTerm &b)
+{
+    auto [s, k] = PauliString::multiply(a.string, b.string);
+    return {a.coeff * b.coeff * phaseFromExponent(k), std::move(s)};
+}
+
+void
+PauliSum::add(const PauliTerm &term)
+{
+    assert(num_qubits_ == 0 || term.string.numQubits() == num_qubits_);
+    if (num_qubits_ == 0)
+        num_qubits_ = term.string.numQubits();
+    terms_.push_back(term);
+}
+
+void
+PauliSum::add(cplx coeff, const PauliString &string)
+{
+    add(PauliTerm{coeff, string});
+}
+
+void
+PauliSum::compress(double tol)
+{
+    std::unordered_map<PauliString, size_t, PauliStringHash> index;
+    std::vector<PauliTerm> merged;
+    merged.reserve(terms_.size());
+    for (const auto &t : terms_) {
+        auto it = index.find(t.string);
+        if (it == index.end()) {
+            index.emplace(t.string, merged.size());
+            merged.push_back(t);
+        } else {
+            merged[it->second].coeff += t.coeff;
+        }
+    }
+    merged.erase(std::remove_if(merged.begin(), merged.end(),
+                                [tol](const PauliTerm &t) {
+                                    return std::abs(t.coeff) < tol;
+                                }),
+                 merged.end());
+    terms_ = std::move(merged);
+}
+
+uint64_t
+PauliSum::pauliWeight() const
+{
+    uint64_t w = 0;
+    for (const auto &t : terms_)
+        w += t.string.weight();
+    return w;
+}
+
+size_t
+PauliSum::numNonIdentityTerms() const
+{
+    size_t n = 0;
+    for (const auto &t : terms_)
+        if (!t.string.isIdentity())
+            ++n;
+    return n;
+}
+
+double
+PauliSum::maxImagCoeff() const
+{
+    double m = 0.0;
+    for (const auto &t : terms_)
+        m = std::max(m, std::abs(t.coeff.imag()));
+    return m;
+}
+
+cplx
+PauliSum::expectationAllZeros() const
+{
+    cplx e{};
+    for (const auto &t : terms_) {
+        // <0|S|0> = 1 if S is diagonal (Z eigenvalues on |0> are all +1,
+        // and diagonal strings contain no Y so carry no phase), else 0.
+        if (t.string.isDiagonal())
+            e += t.coeff;
+    }
+    return e;
+}
+
+cplx
+PauliSum::normalizedTracePower(int k) const
+{
+    if (k < 1 || k > 4)
+        throw std::invalid_argument("normalizedTracePower: k must be 1..4");
+
+    const size_t n = terms_.size();
+    cplx acc{};
+    switch (k) {
+      case 1:
+        for (const auto &t : terms_)
+            if (t.string.isIdentity())
+                acc += t.coeff;
+        return acc;
+      case 2:
+        // tr(S_i S_j) != 0 iff S_i == S_j (literal strings square to I).
+        for (const auto &t : terms_)
+            acc += t.coeff * t.coeff;
+        return acc;
+      case 3:
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t j = 0; j < n; ++j) {
+                auto [sij, kij] =
+                    PauliString::multiply(terms_[i].string, terms_[j].string);
+                // Need S_i S_j S_l = I, i.e. S_l == S_i S_j as literal.
+                for (size_t l = 0; l < n; ++l) {
+                    if (terms_[l].string != sij)
+                        continue;
+                    auto [fin, kf] =
+                        PauliString::multiply(sij, terms_[l].string);
+                    (void)fin;
+                    acc += terms_[i].coeff * terms_[j].coeff *
+                           terms_[l].coeff *
+                           phaseFromExponent(kij + kf);
+                }
+            }
+        }
+        return acc;
+      case 4:
+      default: {
+        // Hash products S_i S_j -> sum of phased coefficient products, then
+        // tr(H^4)/2^N = sum over pairs of products that multiply to I.
+        struct Entry { PauliString s; cplx c; };
+        std::unordered_map<PauliString, cplx, PauliStringHash> prod;
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t j = 0; j < n; ++j) {
+                auto [s, ph] =
+                    PauliString::multiply(terms_[i].string, terms_[j].string);
+                prod[s] += terms_[i].coeff * terms_[j].coeff *
+                           phaseFromExponent(ph);
+            }
+        }
+        // (S_i S_j)(S_k S_l) = I requires the literal strings to be equal;
+        // the residual phase is that of S * S = i^{2*#Y(S)}... computed
+        // exactly via multiply.
+        for (const auto &[s, c] : prod) {
+            auto it = prod.find(s);
+            if (it == prod.end())
+                continue;
+            auto [fin, ph] = PauliString::multiply(s, s);
+            (void)fin;
+            acc += c * it->second * phaseFromExponent(ph);
+        }
+        return acc;
+      }
+    }
+}
+
+ComplexMatrix
+PauliSum::toMatrix() const
+{
+    if (num_qubits_ > 14)
+        throw std::invalid_argument("PauliSum::toMatrix: too many qubits");
+    const size_t dim = size_t{1} << num_qubits_;
+    ComplexMatrix m(dim, dim);
+    for (const auto &t : terms_) {
+        uint64_t xmask = t.string.xWords().empty() ? 0 : t.string.xWords()[0];
+        uint64_t zmask = t.string.zWords().empty() ? 0 : t.string.zWords()[0];
+        int ny = std::popcount(xmask & zmask);
+        for (size_t col = 0; col < dim; ++col) {
+            int k = ny + 2 * std::popcount(zmask & col);
+            m(col ^ xmask, col) += t.coeff * phaseFromExponent(k);
+        }
+    }
+    return m;
+}
+
+} // namespace hatt

@@ -1,0 +1,88 @@
+#ifndef HATT_PAULI_PAULI_SUM_HPP
+#define HATT_PAULI_PAULI_SUM_HPP
+
+/**
+ * @file
+ * Weighted sums of Pauli strings (qubit Hamiltonians) and single weighted
+ * terms. This is the post-mapping representation: a fermionic Hamiltonian
+ * mapped through any fermion-to-qubit mapping becomes a PauliSum, whose
+ * Pauli weight is the paper's primary cost metric.
+ */
+
+#include <vector>
+
+#include "pauli/pauli_string.hpp"
+
+namespace hatt {
+
+/** A coefficient-carrying Pauli string. */
+struct PauliTerm
+{
+    cplx coeff{1.0, 0.0};
+    PauliString string;
+
+    PauliTerm() = default;
+    PauliTerm(cplx c, PauliString s) : coeff(c), string(std::move(s)) {}
+
+    /** Product of two terms with exact phase tracking. */
+    static PauliTerm multiply(const PauliTerm &a, const PauliTerm &b);
+};
+
+/**
+ * A qubit Hamiltonian H = sum_j c_j S_j.
+ *
+ * Terms are kept in insertion order until compress() merges equal strings.
+ */
+class PauliSum
+{
+  public:
+    PauliSum() = default;
+    explicit PauliSum(uint32_t num_qubits) : num_qubits_(num_qubits) {}
+
+    uint32_t numQubits() const { return num_qubits_; }
+
+    void add(const PauliTerm &term);
+    void add(cplx coeff, const PauliString &string);
+
+    const std::vector<PauliTerm> &terms() const { return terms_; }
+    size_t size() const { return terms_.size(); }
+
+    /**
+     * Merge duplicate strings and drop terms with |coeff| < tol.
+     * Resulting order is deterministic (first-seen order).
+     */
+    void compress(double tol = kCoeffTol);
+
+    /**
+     * Total Pauli weight: sum over (non-identity) terms of the number of
+     * non-identity single-qubit operators. The identity term counts zero.
+     */
+    uint64_t pauliWeight() const;
+
+    /** Number of non-identity terms (identity excluded). */
+    size_t numNonIdentityTerms() const;
+
+    /** Max |imag part| over coefficients; ~0 for Hermitian sums. */
+    double maxImagCoeff() const;
+
+    /** <0...0| H |0...0>, computed symbolically from diagonal terms. */
+    cplx expectationAllZeros() const;
+
+    /**
+     * tr(H^k) / 2^N for k in {1,2,3,4}, computed symbolically via Pauli
+     * algebra (tr(S) = 0 unless S = I). A mapping-independent spectral
+     * invariant used to cross-validate different fermion-to-qubit mappings.
+     */
+    cplx normalizedTracePower(int k) const;
+
+    /** Dense matrix (tests only, N <= ~12). */
+    ComplexMatrix toMatrix() const;
+
+  private:
+    uint32_t num_qubits_ = 0;
+    std::vector<PauliTerm> terms_;
+};
+
+} // namespace hatt
+
+#endif // HATT_PAULI_PAULI_SUM_HPP

@@ -1,0 +1,68 @@
+#ifndef HATT_ROUTE_COUPLING_MAP_HPP
+#define HATT_ROUTE_COUPLING_MAP_HPP
+
+/**
+ * @file
+ * Device connectivity graphs for architecture-aware compilation
+ * (Table IV's Manhattan / Sycamore / Montreal targets). The IBM devices
+ * are heavy-hex lattices reconstructed from their published layouts; the
+ * Google Sycamore device is a diagonal grid. Exact edge lists of retired
+ * devices are not bit-for-bit guaranteed, but qubit counts and topology
+ * families match (see DESIGN.md substitutions).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hatt {
+
+/** An undirected device connectivity graph. */
+class CouplingMap
+{
+  public:
+    CouplingMap() = default;
+    CouplingMap(uint32_t num_qubits,
+                std::vector<std::pair<int, int>> edges,
+                std::string name);
+
+    uint32_t numQubits() const { return num_qubits_; }
+    const std::string &name() const { return name_; }
+    const std::vector<std::pair<int, int>> &edges() const { return edges_; }
+    const std::vector<int> &neighbors(int q) const { return adj_[q]; }
+
+    bool adjacent(int a, int b) const;
+
+    /** Hop distance between physical qubits (precomputed BFS). */
+    int distance(int a, int b) const { return dist_[a][b]; }
+
+    /** First hop on a shortest path a -> b (a itself if a == b). */
+    int nextHop(int a, int b) const;
+
+    /** Graph is connected (required by the router). */
+    bool connected() const;
+
+    /** IBM Montreal: 27-qubit Falcon heavy-hex. */
+    static CouplingMap ibmMontreal();
+    /** IBM Manhattan: 65-qubit Hummingbird heavy-hex. */
+    static CouplingMap ibmManhattan();
+    /** Google Sycamore: 54-qubit diagonal grid. */
+    static CouplingMap sycamore();
+    /** Simple line (for tests). */
+    static CouplingMap line(uint32_t n);
+    /** Fully connected (trapped-ion style; routing becomes a no-op). */
+    static CouplingMap allToAll(uint32_t n);
+
+  private:
+    void buildDistances();
+
+    uint32_t num_qubits_ = 0;
+    std::string name_;
+    std::vector<std::pair<int, int>> edges_;
+    std::vector<std::vector<int>> adj_;
+    std::vector<std::vector<int>> dist_;
+};
+
+} // namespace hatt
+
+#endif // HATT_ROUTE_COUPLING_MAP_HPP

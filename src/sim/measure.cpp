@@ -1,0 +1,149 @@
+#include "sim/measure.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace hatt {
+
+std::vector<MeasurementGroup>
+groupQubitWise(const PauliSum &h)
+{
+    std::vector<MeasurementGroup> groups;
+    for (size_t i = 0; i < h.size(); ++i) {
+        const PauliString &s = h.terms()[i].string;
+        if (s.isIdentity())
+            continue;
+        bool placed = false;
+        for (auto &g : groups) {
+            bool compatible = true;
+            for (uint32_t q = 0; q < s.numQubits() && compatible; ++q) {
+                PauliOp a = s.op(q);
+                PauliOp b = g.basis.op(q);
+                if (a != PauliOp::I && b != PauliOp::I && a != b)
+                    compatible = false;
+            }
+            if (compatible) {
+                for (uint32_t q = 0; q < s.numQubits(); ++q)
+                    if (s.op(q) != PauliOp::I)
+                        g.basis.setOp(q, s.op(q));
+                g.termIndices.push_back(i);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            MeasurementGroup g;
+            g.basis = s;
+            g.termIndices.push_back(i);
+            groups.push_back(std::move(g));
+        }
+    }
+    return groups;
+}
+
+Circuit
+basisChangeCircuit(const PauliString &basis, uint32_t num_qubits)
+{
+    Circuit c(num_qubits);
+    for (uint32_t q = 0; q < num_qubits; ++q) {
+        switch (basis.op(q)) {
+          case PauliOp::X:
+            c.h(static_cast<int>(q));
+            break;
+          case PauliOp::Y:
+            c.sdg(static_cast<int>(q));
+            c.h(static_cast<int>(q));
+            break;
+          default:
+            break;
+        }
+    }
+    return c;
+}
+
+double
+estimateEnergy(const Circuit &prep, uint64_t initial, const PauliSum &h,
+               const EstimationOptions &options, Rng &rng)
+{
+    return estimateEnergy(prep, StateVector(h.numQubits(), initial), h,
+                          options, rng);
+}
+
+double
+estimateEnergy(const Circuit &prep, const StateVector &initial,
+               const PauliSum &h, const EstimationOptions &options,
+               Rng &rng)
+{
+    double energy = 0.0;
+    for (const auto &t : h.terms())
+        if (t.string.isIdentity())
+            energy += t.coeff.real();
+
+    std::vector<MeasurementGroup> groups = groupQubitWise(h);
+    for (const auto &group : groups) {
+        Circuit rotated = prep;
+        rotated.append(basisChangeCircuit(group.basis, h.numQubits()));
+
+        std::vector<double> sums(group.termIndices.size(), 0.0);
+        for (uint32_t shot = 0; shot < options.shotsPerGroup; ++shot) {
+            StateVector state = initial;
+            runNoisyTrajectory(rotated, state, options.noise, rng);
+            uint64_t bits = state.sample(rng);
+            bits = applyReadoutError(bits, h.numQubits(), options.noise,
+                                     rng);
+            for (size_t k = 0; k < group.termIndices.size(); ++k) {
+                const PauliString &s =
+                    h.terms()[group.termIndices[k]].string;
+                uint64_t support = (s.xWords()[0] | s.zWords()[0]);
+                int parity = std::popcount(bits & support) & 1;
+                sums[k] += parity ? -1.0 : 1.0;
+            }
+        }
+        for (size_t k = 0; k < group.termIndices.size(); ++k) {
+            double avg = sums[k] / options.shotsPerGroup;
+            energy += h.terms()[group.termIndices[k]].coeff.real() * avg;
+        }
+    }
+    return energy;
+}
+
+std::vector<double>
+trajectoryEnergies(const Circuit &prep, uint64_t initial, const PauliSum &h,
+                   const NoiseModel &noise, uint32_t trajectories, Rng &rng)
+{
+    return trajectoryEnergies(prep, StateVector(h.numQubits(), initial),
+                              h, noise, trajectories, rng);
+}
+
+std::vector<double>
+trajectoryEnergies(const Circuit &prep, const StateVector &initial,
+                   const PauliSum &h, const NoiseModel &noise,
+                   uint32_t trajectories, Rng &rng)
+{
+    std::vector<double> energies;
+    energies.reserve(trajectories);
+    for (uint32_t t = 0; t < trajectories; ++t) {
+        StateVector state = initial;
+        runNoisyTrajectory(prep, state, noise, rng);
+        energies.push_back(state.expectation(h).real());
+    }
+    return energies;
+}
+
+MeanVar
+meanVariance(const std::vector<double> &xs)
+{
+    MeanVar mv;
+    if (xs.empty())
+        return mv;
+    for (double x : xs)
+        mv.mean += x;
+    mv.mean /= static_cast<double>(xs.size());
+    for (double x : xs)
+        mv.variance += (x - mv.mean) * (x - mv.mean);
+    mv.variance /= static_cast<double>(xs.size());
+    return mv;
+}
+
+} // namespace hatt

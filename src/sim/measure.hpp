@@ -1,0 +1,84 @@
+#ifndef HATT_SIM_MEASURE_HPP
+#define HATT_SIM_MEASURE_HPP
+
+/**
+ * @file
+ * Shot-based energy estimation, mirroring how the paper's noisy
+ * simulations and IonQ runs measure the system energy: Hamiltonian terms
+ * are greedily grouped into qubit-wise commuting families, each family is
+ * measured in its shared basis for a number of shots, and <H> is
+ * assembled from the sampled bit parities (with optional readout error).
+ */
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "sim/noise.hpp"
+
+namespace hatt {
+
+/** One qubit-wise commuting measurement family. */
+struct MeasurementGroup
+{
+    std::vector<size_t> termIndices; //!< indices into the PauliSum
+    PauliString basis;               //!< per-qubit X/Y/Z (or I) to measure
+};
+
+/** Greedy qubit-wise commuting grouping in term order. */
+std::vector<MeasurementGroup> groupQubitWise(const PauliSum &h);
+
+/** Basis-change circuit mapping @p basis measurement onto Z measurement. */
+Circuit basisChangeCircuit(const PauliString &basis, uint32_t num_qubits);
+
+/** Options for shot-based estimation. */
+struct EstimationOptions
+{
+    uint32_t shotsPerGroup = 1000;
+    NoiseModel noise;
+};
+
+/**
+ * Estimate <H> by simulating @p prep (from |initial>) once per shot with
+ * Monte-Carlo noise, measuring each group in its basis.
+ * The identity term's coefficient is added exactly.
+ */
+double estimateEnergy(const Circuit &prep, uint64_t initial,
+                      const PauliSum &h, const EstimationOptions &options,
+                      Rng &rng);
+
+/** Overload starting from an arbitrary initial state. */
+double estimateEnergy(const Circuit &prep, const StateVector &initial,
+                      const PauliSum &h, const EstimationOptions &options,
+                      Rng &rng);
+
+/**
+ * Trajectory-averaged exact expectation: runs @p trajectories noisy
+ * executions and returns per-trajectory <H> values (no shot sampling).
+ * Used for the Fig. 10 bias/variance heatmaps where full shot sampling
+ * across a 2D error grid would dominate runtime.
+ */
+std::vector<double> trajectoryEnergies(const Circuit &prep,
+                                       uint64_t initial, const PauliSum &h,
+                                       const NoiseModel &noise,
+                                       uint32_t trajectories, Rng &rng);
+
+/** Overload starting from an arbitrary initial state. */
+std::vector<double> trajectoryEnergies(const Circuit &prep,
+                                       const StateVector &initial,
+                                       const PauliSum &h,
+                                       const NoiseModel &noise,
+                                       uint32_t trajectories, Rng &rng);
+
+/** Mean and (population) variance helper. */
+struct MeanVar
+{
+    double mean = 0.0;
+    double variance = 0.0;
+};
+MeanVar meanVariance(const std::vector<double> &xs);
+
+} // namespace hatt
+
+#endif // HATT_SIM_MEASURE_HPP

@@ -1,0 +1,52 @@
+#include "sim/noise.hpp"
+
+namespace hatt {
+
+namespace {
+
+void
+injectPauli(StateVector &state, int q, uint64_t which)
+{
+    PauliString err(state.numQubits());
+    err.setOp(static_cast<uint32_t>(q),
+              static_cast<PauliOp>(1 + which)); // X, Y or Z
+    state.applyPauli(err);
+}
+
+} // namespace
+
+void
+runNoisyTrajectory(const Circuit &c, StateVector &state,
+                   const NoiseModel &noise, Rng &rng)
+{
+    for (const auto &g : c.gates()) {
+        state.applyGate(g);
+        if (g.isTwoQubit()) {
+            if (noise.p2 > 0.0 && rng.chance(noise.p2)) {
+                // Uniform over the 15 non-identity two-qubit Paulis.
+                uint64_t e = 1 + rng.nextInt(15);
+                uint64_t e0 = e % 4, e1 = e / 4;
+                if (e0)
+                    injectPauli(state, g.q0, e0 - 1);
+                if (e1)
+                    injectPauli(state, g.q1, e1 - 1);
+            }
+        } else if (noise.p1 > 0.0 && rng.chance(noise.p1)) {
+            injectPauli(state, g.q0, rng.nextInt(3));
+        }
+    }
+}
+
+uint64_t
+applyReadoutError(uint64_t bits, uint32_t num_qubits,
+                  const NoiseModel &noise, Rng &rng)
+{
+    if (noise.readout <= 0.0)
+        return bits;
+    for (uint32_t q = 0; q < num_qubits; ++q)
+        if (rng.chance(noise.readout))
+            bits ^= uint64_t{1} << q;
+    return bits;
+}
+
+} // namespace hatt

@@ -1,0 +1,47 @@
+#ifndef HATT_SIM_NOISE_HPP
+#define HATT_SIM_NOISE_HPP
+
+/**
+ * @file
+ * Monte-Carlo (Pauli-twirled) depolarizing noise for the Fig. 10 noisy
+ * simulations and the Fig. 11 IonQ Forte-1 hardware stand-in: after each
+ * gate, with the corresponding error probability, a uniformly random
+ * non-identity Pauli is injected on the gate's qubits; readout flips each
+ * measured bit independently.
+ */
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "sim/statevector.hpp"
+
+namespace hatt {
+
+/** Depolarizing + readout error rates. */
+struct NoiseModel
+{
+    double p1 = 0.0;      //!< depolarizing probability per 1q gate
+    double p2 = 0.0;      //!< depolarizing probability per 2q gate
+    double readout = 0.0; //!< bit-flip probability per measured bit
+
+    /** IonQ Forte 1 published fidelities (paper Sec. V-B5). */
+    static NoiseModel
+    ionqForte1()
+    {
+        return {1.0 - 0.9998, 1.0 - 0.9899, 1.0 - 0.9902};
+    }
+};
+
+/**
+ * Run @p c on @p state with sampled Pauli errors (one noise trajectory).
+ * Deterministic given @p rng state.
+ */
+void runNoisyTrajectory(const Circuit &c, StateVector &state,
+                        const NoiseModel &noise, Rng &rng);
+
+/** Apply readout errors to a sampled bit pattern. */
+uint64_t applyReadoutError(uint64_t bits, uint32_t num_qubits,
+                           const NoiseModel &noise, Rng &rng);
+
+} // namespace hatt
+
+#endif // HATT_SIM_NOISE_HPP

@@ -1,0 +1,187 @@
+#include "sim/statevector.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hatt {
+
+StateVector::StateVector(uint32_t num_qubits) : StateVector(num_qubits, 0)
+{
+}
+
+StateVector::StateVector(uint32_t num_qubits, uint64_t basis)
+    : num_qubits_(num_qubits)
+{
+    if (num_qubits > 24)
+        throw std::invalid_argument("StateVector: too many qubits");
+    amp_.assign(size_t{1} << num_qubits, cplx{});
+    amp_[basis] = {1.0, 0.0};
+}
+
+void
+StateVector::apply1q(int q, const cplx m[2][2])
+{
+    const uint64_t bit = uint64_t{1} << q;
+    const size_t dim = amp_.size();
+    for (size_t i = 0; i < dim; ++i) {
+        if (i & bit)
+            continue;
+        cplx a0 = amp_[i];
+        cplx a1 = amp_[i | bit];
+        amp_[i] = m[0][0] * a0 + m[0][1] * a1;
+        amp_[i | bit] = m[1][0] * a0 + m[1][1] * a1;
+    }
+}
+
+void
+StateVector::applyGate(const Gate &g)
+{
+    static const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    switch (g.kind) {
+      case GateKind::H: {
+        const cplx m[2][2] = {{inv_sqrt2, inv_sqrt2},
+                              {inv_sqrt2, -inv_sqrt2}};
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateKind::S: {
+        const cplx m[2][2] = {{1.0, 0.0}, {0.0, cplx{0.0, 1.0}}};
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateKind::Sdg: {
+        const cplx m[2][2] = {{1.0, 0.0}, {0.0, cplx{0.0, -1.0}}};
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateKind::X: {
+        const cplx m[2][2] = {{0.0, 1.0}, {1.0, 0.0}};
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateKind::RZ: {
+        const cplx e0 = std::exp(cplx{0.0, -g.angle / 2.0});
+        const cplx e1 = std::exp(cplx{0.0, g.angle / 2.0});
+        const cplx m[2][2] = {{e0, 0.0}, {0.0, e1}};
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateKind::CNOT: {
+        const uint64_t cbit = uint64_t{1} << g.q0;
+        const uint64_t tbit = uint64_t{1} << g.q1;
+        for (size_t i = 0; i < amp_.size(); ++i) {
+            if ((i & cbit) && !(i & tbit))
+                std::swap(amp_[i], amp_[i | tbit]);
+        }
+        break;
+      }
+      case GateKind::U3:
+        throw std::invalid_argument(
+            "StateVector: U3 is a counting artifact, not simulable");
+    }
+}
+
+void
+StateVector::applyCircuit(const Circuit &c)
+{
+    assert(c.numQubits() == num_qubits_);
+    for (const auto &g : c.gates())
+        applyGate(g);
+}
+
+void
+StateVector::applyPauli(const PauliString &s)
+{
+    assert(s.numQubits() == num_qubits_);
+    const uint64_t xmask = s.xWords().empty() ? 0 : s.xWords()[0];
+    const uint64_t zmask = s.zWords().empty() ? 0 : s.zWords()[0];
+    const int ny = std::popcount(xmask & zmask);
+
+    std::vector<cplx> out(amp_.size());
+    for (size_t col = 0; col < amp_.size(); ++col) {
+        int k = ny + 2 * std::popcount(zmask & col);
+        out[col ^ xmask] = phaseFromExponent(k) * amp_[col];
+    }
+    amp_ = std::move(out);
+}
+
+void
+StateVector::applyExpPauli(double alpha, const PauliString &s)
+{
+    // exp(-i a S) = cos(a) I - i sin(a) S (S^2 = I).
+    StateVector rotated = *this;
+    rotated.applyPauli(s);
+    const double ca = std::cos(alpha), sa = std::sin(alpha);
+    for (size_t i = 0; i < amp_.size(); ++i)
+        amp_[i] = ca * amp_[i] - cplx{0.0, 1.0} * sa * rotated.amp_[i];
+}
+
+cplx
+StateVector::expectation(const PauliString &s) const
+{
+    const uint64_t xmask = s.xWords().empty() ? 0 : s.xWords()[0];
+    const uint64_t zmask = s.zWords().empty() ? 0 : s.zWords()[0];
+    const int ny = std::popcount(xmask & zmask);
+    cplx e{};
+    for (size_t col = 0; col < amp_.size(); ++col) {
+        int k = ny + 2 * std::popcount(zmask & col);
+        e += std::conj(amp_[col ^ xmask]) * phaseFromExponent(k) *
+             amp_[col];
+    }
+    return e;
+}
+
+cplx
+StateVector::expectation(const PauliSum &h) const
+{
+    cplx e{};
+    for (const auto &t : h.terms())
+        e += t.coeff * expectation(t.string);
+    return e;
+}
+
+double
+StateVector::fidelity(const StateVector &a, const StateVector &b)
+{
+    assert(a.num_qubits_ == b.num_qubits_);
+    cplx inner{};
+    for (size_t i = 0; i < a.amp_.size(); ++i)
+        inner += std::conj(a.amp_[i]) * b.amp_[i];
+    return std::abs(inner);
+}
+
+uint64_t
+StateVector::sample(Rng &rng) const
+{
+    double r = rng.nextDouble();
+    double acc = 0.0;
+    for (size_t i = 0; i < amp_.size(); ++i) {
+        acc += std::norm(amp_[i]);
+        if (r < acc)
+            return i;
+    }
+    return amp_.size() - 1;
+}
+
+void
+StateVector::normalize()
+{
+    double n = norm();
+    if (n < 1e-12)
+        throw std::runtime_error("StateVector::normalize: zero state");
+    for (auto &a : amp_)
+        a /= n;
+}
+
+double
+StateVector::norm() const
+{
+    double n = 0.0;
+    for (const auto &a : amp_)
+        n += std::norm(a);
+    return std::sqrt(n);
+}
+
+} // namespace hatt

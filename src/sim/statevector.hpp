@@ -1,0 +1,73 @@
+#ifndef HATT_SIM_STATEVECTOR_HPP
+#define HATT_SIM_STATEVECTOR_HPP
+
+/**
+ * @file
+ * Dense state-vector simulator used for the noisy-simulation (Fig. 10)
+ * and hardware-study (Fig. 11) experiments and for verifying circuit
+ * synthesis. Supports the library gate set, direct Pauli-string
+ * application, exact single-term exponentials (exp(-i a P) = cos a I
+ * - i sin a P, since P^2 = I), expectations, and basis sampling.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace hatt {
+
+/** Dense N-qubit state vector (N <= 24). */
+class StateVector
+{
+  public:
+    /** |0...0> on @p num_qubits qubits. */
+    explicit StateVector(uint32_t num_qubits);
+
+    /** Computational basis state |basis>. */
+    StateVector(uint32_t num_qubits, uint64_t basis);
+
+    uint32_t numQubits() const { return num_qubits_; }
+    const std::vector<cplx> &amplitudes() const { return amp_; }
+    std::vector<cplx> &mutableAmplitudes() { return amp_; }
+    cplx amplitude(uint64_t basis) const { return amp_[basis]; }
+
+    /** Rescale to unit norm. @throws on (near-)zero states. */
+    void normalize();
+
+    void applyGate(const Gate &g);
+    void applyCircuit(const Circuit &c);
+
+    /** |psi> <- S |psi> for a literal Pauli string. */
+    void applyPauli(const PauliString &s);
+
+    /** |psi> <- exp(-i alpha S) |psi>, exact. */
+    void applyExpPauli(double alpha, const PauliString &s);
+
+    /** <psi| S |psi>. */
+    cplx expectation(const PauliString &s) const;
+
+    /** <psi| H |psi>. */
+    cplx expectation(const PauliSum &h) const;
+
+    /** |<a|b>|. */
+    static double fidelity(const StateVector &a, const StateVector &b);
+
+    /** Sample a basis state from |psi|^2. */
+    uint64_t sample(Rng &rng) const;
+
+    /** 2-norm (should stay 1 up to rounding). */
+    double norm() const;
+
+  private:
+    void apply1q(int q, const cplx m[2][2]);
+
+    uint32_t num_qubits_;
+    std::vector<cplx> amp_;
+};
+
+} // namespace hatt
+
+#endif // HATT_SIM_STATEVECTOR_HPP

@@ -1,0 +1,193 @@
+#include "tree/ternary_tree.hpp"
+
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+
+namespace hatt {
+
+TernaryTree::TernaryTree(uint32_t num_modes) : num_modes_(num_modes)
+{
+    if (num_modes == 0)
+        throw std::invalid_argument("TernaryTree: need at least one mode");
+    nodes_.resize(numLeaves());
+    for (uint32_t l = 0; l < numLeaves(); ++l)
+        nodes_[l].leafIndex = static_cast<int>(l);
+}
+
+TernaryTree
+TernaryTree::balanced(uint32_t num_modes)
+{
+    // Build top-down with BFS queues, then translate into the pooled id
+    // layout (leaves first, internal nodes afterwards).
+    //
+    // temp ids: 0..N-1 internal in BFS order; children of internal k are
+    // the next unassigned slots (internal while any remain, else leaves).
+    const uint32_t n = num_modes;
+    TernaryTree tree(n);
+
+    struct Slot { int parent_internal; int branch; };
+    std::deque<Slot> open;
+    std::vector<std::array<int, 3>> child_of(n, {-1, -1, -1});
+
+    uint32_t next_internal = 1; // internal 0 is the root
+    open.push_back({0, BranchX});
+    open.push_back({0, BranchY});
+    open.push_back({0, BranchZ});
+    while (!open.empty()) {
+        Slot s = open.front();
+        open.pop_front();
+        if (next_internal >= n)
+            break; // remaining open slots become leaves
+        int id = static_cast<int>(next_internal++);
+        child_of[s.parent_internal][s.branch] = id;
+        open.push_back({id, BranchX});
+        open.push_back({id, BranchY});
+        open.push_back({id, BranchZ});
+    }
+
+    // Pool layout: leaf l -> id l; internal k -> id 2N+1+k (qubit k).
+    auto internal_id = [&](int k) { return static_cast<int>(2 * n + 1 + k); };
+    tree.nodes_.resize(3 * n + 1);
+    for (uint32_t k = 0; k < n; ++k) {
+        TreeNode &nd = tree.nodes_[internal_id(k)];
+        nd.qubit = static_cast<int>(k);
+        nd.leafIndex = -1;
+    }
+    for (uint32_t k = 0; k < n; ++k) {
+        for (int b = 0; b < 3; ++b) {
+            int child = child_of[k][b];
+            if (child >= 0) {
+                tree.nodes_[internal_id(k)].child[b] = internal_id(child);
+                tree.nodes_[internal_id(child)].parent = internal_id(k);
+            }
+        }
+    }
+    // Assign leaf indices in DFS (X, Y, Z) order, i.e. left-to-right as
+    // drawn — the labelling convention of the paper's Figs. 3 and 4.
+    int next_leaf = 0;
+    std::function<void(int)> visit = [&](int k) {
+        for (int b = 0; b < 3; ++b) {
+            int child = child_of[k][b];
+            if (child >= 0) {
+                visit(child);
+            } else {
+                int leaf = next_leaf++;
+                tree.nodes_[leaf].leafIndex = leaf;
+                tree.nodes_[leaf].parent = internal_id(k);
+                tree.nodes_[internal_id(k)].child[b] = leaf;
+            }
+        }
+    };
+    visit(0);
+    assert(next_leaf == static_cast<int>(tree.numLeaves()));
+    return tree;
+}
+
+int
+TernaryTree::addInternal(int qubit, int x, int y, int z)
+{
+    assert(x != y && y != z && x != z);
+    for ([[maybe_unused]] int c : {x, y, z}) {
+        assert(c >= 0 && c < static_cast<int>(nodes_.size()));
+        assert(nodes_[c].parent == -1);
+    }
+    TreeNode nd;
+    nd.qubit = qubit;
+    nd.child = {x, y, z};
+    int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(nd);
+    nodes_[x].parent = id;
+    nodes_[y].parent = id;
+    nodes_[z].parent = id;
+    return id;
+}
+
+int
+TernaryTree::root() const
+{
+    int root = -1;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].parent == -1) {
+            if (root != -1)
+                throw std::logic_error("TernaryTree::root: multiple roots");
+            root = static_cast<int>(i);
+        }
+    }
+    if (root == -1)
+        throw std::logic_error("TernaryTree::root: no root");
+    return root;
+}
+
+int
+TernaryTree::zDescendant(int id) const
+{
+    while (!nodes_[id].isLeaf())
+        id = nodes_[id].child[BranchZ];
+    return id;
+}
+
+std::vector<PauliString>
+TernaryTree::extractStrings() const
+{
+    std::vector<PauliString> out(numLeaves(), PauliString(num_modes_));
+    // DFS from the root accumulating branch operators.
+    std::vector<std::pair<int, PauliString>> stack;
+    stack.emplace_back(root(), PauliString(num_modes_));
+    while (!stack.empty()) {
+        auto [id, prefix] = std::move(stack.back());
+        stack.pop_back();
+        const TreeNode &nd = nodes_[id];
+        if (nd.isLeaf()) {
+            out[nd.leafIndex] = std::move(prefix);
+            continue;
+        }
+        static const PauliOp ops[3] = {PauliOp::X, PauliOp::Y, PauliOp::Z};
+        for (int b = 0; b < 3; ++b) {
+            PauliString s = prefix;
+            s.setOp(static_cast<uint32_t>(nd.qubit), ops[b]);
+            stack.emplace_back(nd.child[b], std::move(s));
+        }
+    }
+    return out;
+}
+
+std::vector<uint32_t>
+TernaryTree::leafDepths() const
+{
+    std::vector<uint32_t> out(numLeaves(), 0);
+    for (uint32_t l = 0; l < numLeaves(); ++l) {
+        uint32_t d = 0;
+        int id = static_cast<int>(l);
+        while (nodes_[id].parent != -1) {
+            id = nodes_[id].parent;
+            ++d;
+        }
+        out[l] = d;
+    }
+    return out;
+}
+
+bool
+TernaryTree::isCompleteTree() const
+{
+    uint32_t internal = 0, leaves = 0, roots = 0;
+    for (const auto &nd : nodes_) {
+        if (nd.parent == -1)
+            ++roots;
+        if (nd.isLeaf()) {
+            ++leaves;
+            if (nd.child[0] != -1 || nd.child[1] != -1 || nd.child[2] != -1)
+                return false;
+        } else {
+            ++internal;
+            for (int b = 0; b < 3; ++b)
+                if (nd.child[b] == -1)
+                    return false;
+        }
+    }
+    return roots == 1 && internal == num_modes_ && leaves == numLeaves();
+}
+
+} // namespace hatt

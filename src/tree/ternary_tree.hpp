@@ -1,0 +1,99 @@
+#ifndef HATT_TREE_TERNARY_TREE_HPP
+#define HATT_TREE_TERNARY_TREE_HPP
+
+/**
+ * @file
+ * Complete ternary trees for fermion-to-qubit mappings (paper Sec. III-A).
+ *
+ * A complete ternary tree with N internal nodes has 2N+1 leaves. Internal
+ * node j carries qubit q_j; the path from the root to each leaf spells a
+ * Pauli string: at every internal node on the path, taking the X/Y/Z child
+ * contributes X/Y/Z on that node's qubit, all other qubits get I.
+ *
+ * The tree is stored in a node pool. By HATT's convention node ids
+ * 0..2N are leaves (leaf id == Majorana/string index) and ids
+ * 2N+1 .. 3N are internal (id 2N+1+i carries qubit i); the balanced-tree
+ * builder follows the same id layout so downstream code is uniform.
+ */
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "pauli/pauli_string.hpp"
+
+namespace hatt {
+
+/** Branch labels for the three children. */
+enum Branch : int { BranchX = 0, BranchY = 1, BranchZ = 2 };
+
+/** One node of the pool. Children are node ids or -1. */
+struct TreeNode
+{
+    std::array<int, 3> child{-1, -1, -1};
+    int parent = -1;
+    int qubit = -1;     //!< for internal nodes; -1 for leaves
+    int leafIndex = -1; //!< for leaves; -1 for internal nodes
+
+    bool isLeaf() const { return leafIndex >= 0; }
+};
+
+/** A complete ternary tree over N modes. */
+class TernaryTree
+{
+  public:
+    TernaryTree() = default;
+
+    /**
+     * Create the initial forest of 2N+1 leaves (HATT's starting node set);
+     * internal nodes are added later via addInternal().
+     */
+    explicit TernaryTree(uint32_t num_modes);
+
+    /**
+     * Balanced complete ternary tree with N internal nodes: internal nodes
+     * are allocated in BFS order (root = qubit 0), remaining child slots
+     * become leaves labelled in BFS order as well. This reproduces the
+     * minimal-depth tree of Jiang et al. [20].
+     */
+    static TernaryTree balanced(uint32_t num_modes);
+
+    uint32_t numModes() const { return num_modes_; }
+    uint32_t numLeaves() const { return 2 * num_modes_ + 1; }
+
+    const TreeNode &node(int id) const { return nodes_[id]; }
+    size_t numNodes() const { return nodes_.size(); }
+
+    /**
+     * Append internal node with the given qubit index and children
+     * (x, y, z must be existing parentless nodes). @return its node id.
+     */
+    int addInternal(int qubit, int x, int y, int z);
+
+    /** Root id: the unique parentless node once construction finishes. */
+    int root() const;
+
+    /** Walk down Z branches from @p id to the rightmost descendant leaf. */
+    int zDescendant(int id) const;
+
+    /**
+     * Extract the 2N+1 Pauli strings, indexed by leaf index (paper
+     * Sec. III-A2). String s[l] has, for each internal node on the
+     * root->leaf_l path, the branch letter on that node's qubit.
+     */
+    std::vector<PauliString> extractStrings() const;
+
+    /** Depth of each leaf (number of internal nodes on its path). */
+    std::vector<uint32_t> leafDepths() const;
+
+    /** Validity: every internal node has 3 children, one root, N internal. */
+    bool isCompleteTree() const;
+
+  private:
+    uint32_t num_modes_ = 0;
+    std::vector<TreeNode> nodes_;
+};
+
+} // namespace hatt
+
+#endif // HATT_TREE_TERNARY_TREE_HPP

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the electronic-structure stack: Boys function values,
+ * integral identities, RHF energies against published STO-3G references,
+ * frozen-core/active-space bookkeeping, and second quantization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/boys.hpp"
+#include "chem/molecule.hpp"
+#include "fermion/fock.hpp"
+#include "fermion/majorana.hpp"
+
+namespace hatt {
+namespace {
+
+TEST(Boys, SmallArgumentLimits)
+{
+    // F_m(0) = 1/(2m+1).
+    for (int m = 0; m <= 6; ++m)
+        EXPECT_NEAR(boysF(m, 0.0), 1.0 / (2 * m + 1), 1e-14);
+}
+
+TEST(Boys, KnownValues)
+{
+    // F_0(t) = sqrt(pi/t)/2 * erf(sqrt(t)).
+    for (double t : {0.1, 0.5, 1.0, 5.0, 20.0, 40.0, 100.0}) {
+        double expect =
+            0.5 * std::sqrt(M_PI / t) * std::erf(std::sqrt(t));
+        EXPECT_NEAR(boysF(0, t), expect, 1e-12) << t;
+    }
+}
+
+TEST(Boys, RecursionConsistency)
+{
+    // d/dt relation: F_{m+1} = ((2m+1)F_m - e^-t) / (2t).
+    for (double t : {0.3, 2.0, 10.0, 34.9, 35.1, 80.0}) {
+        auto f = boysArray(6, t);
+        for (int m = 0; m < 6; ++m) {
+            double rhs = ((2 * m + 1) * f[m] - std::exp(-t)) / (2 * t);
+            EXPECT_NEAR(f[m + 1], rhs, 1e-11) << "t=" << t << " m=" << m;
+        }
+    }
+}
+
+TEST(Basis, ContractedFunctionsAreNormalized)
+{
+    for (auto basis : {BasisSet::Sto3g, BasisSet::B631g}) {
+        Atom o{"O", 8, {0, 0, 0}};
+        for (const auto &f : basisForAtom(o, basis))
+            EXPECT_NEAR(overlapIntegral(f, f), 1.0, 1e-10);
+    }
+}
+
+TEST(Basis, FunctionCountsMatchPaperModes)
+{
+    // Spin orbitals (2x) must reproduce Table I's "Modes" column.
+    EXPECT_EQ(basisFunctionCount("H", BasisSet::Sto3g), 1u);
+    EXPECT_EQ(basisFunctionCount("O", BasisSet::Sto3g), 5u);
+    EXPECT_EQ(basisFunctionCount("Na", BasisSet::Sto3g), 9u);
+    EXPECT_EQ(basisFunctionCount("C", BasisSet::Sto3g), 5u);
+    EXPECT_EQ(basisFunctionCount("H", BasisSet::B631g), 2u);
+    EXPECT_EQ(basisFunctionCount("O", BasisSet::B631g), 9u);
+}
+
+TEST(Integrals, OverlapSymmetricAndBounded)
+{
+    Atom a{"O", 8, {0, 0, 0}}, b{"H", 1, {0, 0, 1.5}};
+    auto fa = basisForAtom(a, BasisSet::Sto3g);
+    auto fb = basisForAtom(b, BasisSet::Sto3g);
+    for (const auto &f1 : fa) {
+        for (const auto &f2 : fb) {
+            double s12 = overlapIntegral(f1, f2);
+            double s21 = overlapIntegral(f2, f1);
+            EXPECT_NEAR(s12, s21, 1e-12);
+            EXPECT_LE(std::abs(s12), 1.0 + 1e-9);
+        }
+    }
+}
+
+TEST(Integrals, KineticPositiveDiagonal)
+{
+    Atom a{"C", 6, {0, 0, 0}};
+    for (const auto &f : basisForAtom(a, BasisSet::Sto3g))
+        EXPECT_GT(kineticIntegral(f, f), 0.0);
+}
+
+TEST(Integrals, EriPermutationSymmetry)
+{
+    Atom a{"H", 1, {0, 0, 0}}, b{"H", 1, {0, 0, 1.4}};
+    auto fa = basisForAtom(a, BasisSet::B631g);
+    auto fb = basisForAtom(b, BasisSet::B631g);
+    const BasisFunction &p = fa[0], &q = fa[1], &r = fb[0], &s = fb[1];
+    double g = eriIntegral(p, q, r, s);
+    EXPECT_NEAR(g, eriIntegral(q, p, r, s), 1e-12);
+    EXPECT_NEAR(g, eriIntegral(p, q, s, r), 1e-12);
+    EXPECT_NEAR(g, eriIntegral(r, s, p, q), 1e-12);
+}
+
+TEST(Scf, H2ReferenceEnergy)
+{
+    // RHF/STO-3G at 0.735 A: E_total ~ -1.1167 Hartree.
+    MolecularProblem p = buildMolecule({"H2", BasisSet::Sto3g, false, 0});
+    EXPECT_TRUE(p.scfConverged);
+    EXPECT_NEAR(p.scfEnergy, -1.1167, 2e-3);
+    EXPECT_EQ(p.numModes, 4u);
+}
+
+TEST(Scf, LiHReferenceEnergy)
+{
+    MolecularProblem p = buildMolecule({"LiH", BasisSet::Sto3g, false, 0});
+    EXPECT_TRUE(p.scfConverged);
+    EXPECT_NEAR(p.scfEnergy, -7.862, 5e-3);
+    EXPECT_EQ(p.numModes, 12u);
+}
+
+TEST(Scf, WaterReferenceEnergy)
+{
+    MolecularProblem p = buildMolecule({"H2O", BasisSet::Sto3g, false, 0});
+    EXPECT_TRUE(p.scfConverged);
+    EXPECT_NEAR(p.scfEnergy, -74.963, 5e-3);
+    EXPECT_EQ(p.numModes, 14u);
+}
+
+TEST(Scf, ModeCountsMatchPaperTableOne)
+{
+    // Cheap structural checks (no SCF run): spin orbitals = 2 * AOs.
+    struct Case { const char *name; uint32_t modes; };
+    const Case cases[] = {{"CH4", 18}, {"O2", 20}, {"NaF", 28},
+                          {"CO2", 30}};
+    for (const auto &c : cases) {
+        uint32_t ao = 0;
+        for (const Atom &a : moleculeGeometry(c.name))
+            ao += basisFunctionCount(a.element, BasisSet::Sto3g);
+        EXPECT_EQ(2 * ao, c.modes) << c.name;
+    }
+}
+
+TEST(Transform, FreezeCoreMatchesFullDiagonalization)
+{
+    // For LiH/STO-3G: freezing the Li 1s core must keep the active-space
+    // Hamiltonian Hermitian and reduce modes 12 -> 6 with 2 electrons
+    // when an active window of 3 orbitals is chosen (paper's "frz").
+    MolecularProblem p =
+        buildMolecule({"LiH", BasisSet::Sto3g, true, 3});
+    EXPECT_EQ(p.numModes, 6u);
+    EXPECT_EQ(p.numElectrons, 2u);
+    FockSpace fock(p.numModes);
+    EXPECT_TRUE(fock.toMatrix(p.hamiltonian).isHermitian(1e-8));
+}
+
+TEST(Transform, SecondQuantizedHamiltonianIsHermitian)
+{
+    MolecularProblem p = buildMolecule({"H2", BasisSet::Sto3g, false, 0});
+    FockSpace fock(p.numModes);
+    EXPECT_TRUE(fock.toMatrix(p.hamiltonian).isHermitian(1e-8));
+}
+
+TEST(Transform, HartreeFockDeterminantEnergy)
+{
+    // <HF| H |HF> evaluated on the occupation basis state with the two
+    // lowest spin orbitals filled must equal the SCF total energy.
+    MolecularProblem p = buildMolecule({"H2", BasisSet::Sto3g, false, 0});
+    FockSpace fock(p.numModes);
+    ComplexMatrix h = fock.toMatrix(p.hamiltonian);
+    // Block ordering: alpha modes [0,2), beta [2,4); HF det occupies
+    // orbital 0 in both spins -> bits 0 and 2.
+    size_t hfstate = (1u << 0) | (1u << 2);
+    EXPECT_NEAR(h(hfstate, hfstate).real(), p.scfEnergy, 1e-6);
+}
+
+TEST(Transform, ParticleNumberConserved)
+{
+    // [H, N] = 0: both H and N block-diagonalize over particle sectors.
+    MolecularProblem p = buildMolecule({"H2", BasisSet::Sto3g, false, 0});
+    FockSpace fock(p.numModes);
+    ComplexMatrix h = fock.toMatrix(p.hamiltonian);
+    const size_t dim = h.rows();
+    for (size_t i = 0; i < dim; ++i)
+        for (size_t j = 0; j < dim; ++j) {
+            if (std::popcount(i) != std::popcount(j)) {
+                EXPECT_LT(std::abs(h(i, j)), 1e-10);
+            }
+        }
+}
+
+TEST(Molecule, UnknownThrows)
+{
+    EXPECT_THROW(moleculeGeometry("Xy2"), std::invalid_argument);
+    MoleculeSpec bad;
+    bad.name = "H2";
+    bad.basis = BasisSet::Sto3g;
+    bad.freezeCore = false;
+    bad.activeOrbitals = 77;
+    EXPECT_THROW(buildMolecule(bad), std::invalid_argument);
+}
+
+TEST(Molecule, ElectronCounts)
+{
+    EXPECT_EQ(moleculeElectronCount("H2"), 2u);
+    EXPECT_EQ(moleculeElectronCount("CH4"), 10u);
+    EXPECT_EQ(moleculeElectronCount("NaF"), 20u);
+    EXPECT_EQ(moleculeElectronCount("CO2"), 22u);
+}
+
+} // namespace
+} // namespace hatt

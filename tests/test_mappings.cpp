@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the baseline mappings (JW, BK, BTT): exact string forms where
+ * known, algebraic validity, vacuum preservation, weight bounds, and the
+ * gold-standard check that the JW-mapped Hamiltonian matrix equals the
+ * Fock-space matrix exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fermion/fock.hpp"
+#include "ham/qubit_hamiltonian.hpp"
+#include "mapping/balanced_tree.hpp"
+#include "mapping/bravyi_kitaev.hpp"
+#include "mapping/jordan_wigner.hpp"
+#include "mapping/verify.hpp"
+#include "models/hubbard.hpp"
+
+namespace hatt {
+namespace {
+
+TEST(JordanWigner, PaperExampleStrings)
+{
+    // Paper Sec. II-C: M0 = IX, M1 = IY, M2 = XZ, M3 = YZ for N = 2.
+    FermionQubitMapping map = jordanWignerMapping(2);
+    ASSERT_EQ(map.majorana.size(), 4u);
+    EXPECT_EQ(map.majorana[0].string.toString(), "IX");
+    EXPECT_EQ(map.majorana[1].string.toString(), "IY");
+    EXPECT_EQ(map.majorana[2].string.toString(), "XZ");
+    EXPECT_EQ(map.majorana[3].string.toString(), "YZ");
+}
+
+TEST(JordanWigner, ValidAndVacuumPreserving)
+{
+    for (uint32_t n : {1u, 2u, 3u, 8u, 17u}) {
+        FermionQubitMapping map = jordanWignerMapping(n);
+        MappingCheck check = verifyMapping(map);
+        EXPECT_TRUE(check.valid) << check.reason;
+        EXPECT_TRUE(preservesVacuum(map)) << n;
+    }
+}
+
+TEST(JordanWigner, MatchesFockMatrixExactly)
+{
+    // JW with mode j on qubit j is the identity encoding of the Fock
+    // basis; mapped Hamiltonian matrices must be EQUAL, not just similar.
+    HubbardParams params;
+    params.rows = 1;
+    params.cols = 2; // 4 modes -> 16-dim matrices
+    FermionHamiltonian hf = hubbardModel(params);
+    FockSpace fock(hf.numModes());
+    ComplexMatrix exact = fock.toMatrix(hf);
+
+    PauliSum mapped = mapToQubits(hf, jordanWignerMapping(hf.numModes()));
+    ComplexMatrix viaJw = mapped.toMatrix();
+    EXPECT_LT(exact.maxAbsDiff(viaJw), 1e-10);
+}
+
+TEST(BravyiKitaev, SetsForSmallN)
+{
+    // N=2 worked example (see header): P(0)={}, U(0)={1}, F(0)={};
+    // P(1)={0}, U(1)={}, F(1)={0}, rho(1)={}.
+    BravyiKitaevSets s0 = bravyiKitaevSets(0, 2);
+    EXPECT_TRUE(s0.parity.empty());
+    EXPECT_EQ(s0.update, (std::vector<uint32_t>{1}));
+    EXPECT_TRUE(s0.flip.empty());
+
+    BravyiKitaevSets s1 = bravyiKitaevSets(1, 2);
+    EXPECT_EQ(s1.parity, (std::vector<uint32_t>{0}));
+    EXPECT_TRUE(s1.update.empty());
+    EXPECT_EQ(s1.flip, (std::vector<uint32_t>{0}));
+    EXPECT_TRUE(s1.remainder.empty());
+}
+
+TEST(BravyiKitaev, ValidAndVacuumPreservingAnyN)
+{
+    for (uint32_t n = 1; n <= 20; ++n) {
+        FermionQubitMapping map = bravyiKitaevMapping(n);
+        MappingCheck check = verifyMapping(map);
+        EXPECT_TRUE(check.valid) << "n=" << n << ": " << check.reason;
+        EXPECT_TRUE(preservesVacuum(map)) << n;
+    }
+}
+
+TEST(BravyiKitaev, LogarithmicWeight)
+{
+    // Max Majorana weight should grow like O(log N), certainly much less
+    // than the JW linear worst case.
+    FermionQubitMapping bk = bravyiKitaevMapping(32);
+    uint32_t max_w = 0;
+    for (const auto &t : bk.majorana)
+        max_w = std::max(max_w, t.string.weight());
+    EXPECT_LE(max_w, 8u); // ~log2(32) + small constant
+}
+
+TEST(BravyiKitaev, IsospectralWithJordanWigner)
+{
+    HubbardParams params;
+    params.rows = 1;
+    params.cols = 2;
+    FermionHamiltonian hf = hubbardModel(params);
+    MajoranaPolynomial poly = MajoranaPolynomial::fromFermion(hf);
+
+    PauliSum viaJw = mapToQubits(poly, jordanWignerMapping(4));
+    PauliSum viaBk = mapToQubits(poly, bravyiKitaevMapping(4));
+    for (int k = 1; k <= 4; ++k) {
+        cplx a = viaJw.normalizedTracePower(k);
+        cplx b = viaBk.normalizedTracePower(k);
+        EXPECT_NEAR(std::abs(a - b), 0.0, 1e-9) << "k=" << k;
+    }
+}
+
+TEST(BalancedTree, ValidForManySizes)
+{
+    for (uint32_t n : {1u, 2u, 3u, 4u, 9u, 16u, 21u}) {
+        FermionQubitMapping map = balancedTernaryTreeMapping(n);
+        MappingCheck check = verifyMapping(map);
+        EXPECT_TRUE(check.valid) << "n=" << n << ": " << check.reason;
+    }
+}
+
+TEST(BalancedTree, PairedPolicyPreservesVacuumNaturalDoesNot)
+{
+    for (uint32_t n : {2u, 3u, 5u, 8u, 13u}) {
+        FermionQubitMapping paired =
+            balancedTernaryTreeMapping(n, BttAssignment::Paired);
+        EXPECT_TRUE(preservesVacuum(paired)) << n;
+    }
+    // Natural assignment generally breaks vacuum preservation (it still
+    // must be a valid mapping though).
+    FermionQubitMapping natural =
+        balancedTernaryTreeMapping(5, BttAssignment::Natural);
+    EXPECT_TRUE(verifyMapping(natural).valid);
+    EXPECT_FALSE(preservesVacuum(natural));
+}
+
+TEST(BalancedTree, OptimalAverageWeight)
+{
+    // Average Majorana weight = ceil(log3(2N+1)) for the balanced tree.
+    FermionQubitMapping map =
+        balancedTernaryTreeMapping(13, BttAssignment::Natural);
+    for (const auto &t : map.majorana)
+        EXPECT_EQ(t.string.weight(), 3u); // 27 leaves, perfect tree
+}
+
+TEST(BalancedTree, IsospectralWithJordanWigner)
+{
+    HubbardParams params;
+    params.rows = 1;
+    params.cols = 3; // 6 modes
+    FermionHamiltonian hf = hubbardModel(params);
+    MajoranaPolynomial poly = MajoranaPolynomial::fromFermion(hf);
+
+    PauliSum viaJw = mapToQubits(poly, jordanWignerMapping(6));
+    PauliSum viaBtt = mapToQubits(poly, balancedTernaryTreeMapping(6));
+    for (int k = 1; k <= 4; ++k) {
+        EXPECT_NEAR(std::abs(viaJw.normalizedTracePower(k) -
+                             viaBtt.normalizedTracePower(k)),
+                    0.0, 1e-9)
+            << "k=" << k;
+    }
+    // Vacuum energies must also agree (both preserve the vacuum).
+    FockSpace fock(6);
+    cplx vac = fock.vacuumExpectation(hf);
+    EXPECT_NEAR(std::abs(viaJw.expectationAllZeros() - vac), 0.0, 1e-9);
+    EXPECT_NEAR(std::abs(viaBtt.expectationAllZeros() - vac), 0.0, 1e-9);
+}
+
+TEST(Mapping, CreationAnnihilationHelpers)
+{
+    FermionQubitMapping map = jordanWignerMapping(2);
+    auto a0 = map.annihilationOperator(0);
+    ASSERT_EQ(a0.size(), 2u);
+    // a_0 = 0.5 IX + 0.5i IY (paper Sec. II-C).
+    EXPECT_EQ(a0[0].string.toString(), "IX");
+    EXPECT_NEAR(std::abs(a0[0].coeff - cplx(0.5, 0.0)), 0.0, 1e-12);
+    EXPECT_EQ(a0[1].string.toString(), "IY");
+    EXPECT_NEAR(std::abs(a0[1].coeff - cplx(0.0, 0.5)), 0.0, 1e-12);
+
+    auto c1 = map.creationOperator(1);
+    EXPECT_NEAR(std::abs(c1[1].coeff - cplx(0.0, -0.5)), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace hatt

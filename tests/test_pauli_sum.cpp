@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for PauliSum: compression, weights, symbolic vacuum
+ * expectation, trace-power invariants vs dense matrices.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/linalg.hpp"
+#include "common/rng.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace hatt {
+namespace {
+
+TEST(PauliSum, CompressMergesAndPrunes)
+{
+    PauliSum sum(2);
+    sum.add(cplx{1.0, 0.0}, PauliString::fromLabel("XZ"));
+    sum.add(cplx{2.0, 0.0}, PauliString::fromLabel("XZ"));
+    sum.add(cplx{1.0, 0.0}, PauliString::fromLabel("ZZ"));
+    sum.add(cplx{-1.0, 0.0}, PauliString::fromLabel("ZZ"));
+    sum.compress();
+    ASSERT_EQ(sum.size(), 1u);
+    EXPECT_EQ(sum.terms()[0].string.toString(), "XZ");
+    EXPECT_NEAR(sum.terms()[0].coeff.real(), 3.0, 1e-12);
+}
+
+TEST(PauliSum, PauliWeightCountsNonIdentity)
+{
+    PauliSum sum(4);
+    sum.add(cplx{0.5, 0.0}, PauliString::fromLabel("XYIZ")); // weight 3
+    sum.add(cplx{0.5, 0.0}, PauliString::fromLabel("IIII")); // weight 0
+    sum.add(cplx{0.5, 0.0}, PauliString::fromLabel("IIIZ")); // weight 1
+    EXPECT_EQ(sum.pauliWeight(), 4u);
+    EXPECT_EQ(sum.numNonIdentityTerms(), 2u);
+}
+
+TEST(PauliSum, ExpectationAllZeros)
+{
+    PauliSum sum(3);
+    sum.add(cplx{2.0, 0.0}, PauliString::fromLabel("IZZ"));
+    sum.add(cplx{5.0, 0.0}, PauliString::fromLabel("III"));
+    sum.add(cplx{7.0, 0.0}, PauliString::fromLabel("XZZ")); // off-diagonal
+    EXPECT_NEAR(sum.expectationAllZeros().real(), 7.0, 1e-12);
+
+    // Cross-check against the dense matrix element (0,0).
+    ComplexMatrix m = sum.toMatrix();
+    EXPECT_NEAR(m(0, 0).real(), 7.0, 1e-12);
+}
+
+TEST(PauliSum, TracePowersMatchDense)
+{
+    Rng rng(21);
+    for (int trial = 0; trial < 10; ++trial) {
+        const uint32_t n = 3;
+        PauliSum sum(n);
+        for (int t = 0; t < 6; ++t) {
+            PauliString s(n);
+            for (uint32_t q = 0; q < n; ++q)
+                s.setOp(q, static_cast<PauliOp>(rng.nextInt(4)));
+            sum.add(cplx{rng.nextGaussian(), 0.0}, s);
+        }
+        sum.compress();
+
+        ComplexMatrix m = sum.toMatrix();
+        const double dim = static_cast<double>(m.rows());
+        ComplexMatrix acc = m;
+        for (int k = 1; k <= 4; ++k) {
+            cplx symbolic = sum.normalizedTracePower(k);
+            cplx dense = acc.trace() / dim;
+            EXPECT_NEAR(std::abs(symbolic - dense), 0.0, 1e-9)
+                << "k=" << k << " trial=" << trial;
+            if (k < 4)
+                acc = acc.multiply(m);
+        }
+    }
+}
+
+TEST(PauliSum, MatrixIsHermitianForRealCoefficients)
+{
+    PauliSum sum(2);
+    sum.add(cplx{0.3, 0.0}, PauliString::fromLabel("XY"));
+    sum.add(cplx{-1.2, 0.0}, PauliString::fromLabel("ZI"));
+    EXPECT_TRUE(sum.toMatrix().isHermitian());
+    EXPECT_NEAR(sum.maxImagCoeff(), 0.0, 1e-15);
+}
+
+} // namespace
+} // namespace hatt

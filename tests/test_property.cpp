@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Parameterized property tests: algebraic invariants that must hold for
+ * every mapping family on every model, swept with TEST_P /
+ * INSTANTIATE_TEST_SUITE_P.
+ *
+ * Invariants checked per (mapping, model) combination:
+ *  - the 2N Majorana strings are pairwise anticommuting and distinct;
+ *  - vacuum preservation for the families that promise it;
+ *  - the mapped Hamiltonian has (near-)real coefficients (Hermiticity);
+ *  - normalized trace powers tr(H^k)/2^N for k = 1..3 agree with the
+ *    Jordan-Wigner reference (isospectrality witness);
+ *  - the number of mapped terms equals the number of Majorana monomials
+ *    (distinct monomials map to distinct strings).
+ */
+
+#include <cctype>
+
+#include <gtest/gtest.h>
+
+#include "ham/qubit_hamiltonian.hpp"
+#include "mapping/balanced_tree.hpp"
+#include "mapping/bravyi_kitaev.hpp"
+#include "mapping/hatt.hpp"
+#include "mapping/jordan_wigner.hpp"
+#include "mapping/verify.hpp"
+#include "models/chains.hpp"
+#include "models/hubbard.hpp"
+#include "models/neutrino.hpp"
+
+namespace hatt {
+namespace {
+
+enum class Model { Hubbard22, Hubbard13, Neutrino22, Random6, Random8 };
+
+MajoranaPolynomial
+buildModel(Model model)
+{
+    switch (model) {
+      case Model::Hubbard22:
+        return MajoranaPolynomial::fromFermion(
+            hubbardModel({2, 2, 1.0, 4.0}));
+      case Model::Hubbard13:
+        return MajoranaPolynomial::fromFermion(
+            hubbardModel({1, 3, 1.0, 4.0}));
+      case Model::Neutrino22:
+        return MajoranaPolynomial::fromFermion(neutrinoModel({2, 2, 0.1}));
+      case Model::Random6:
+        return randomMajoranaPolynomial(6, 18, 6006);
+      case Model::Random8:
+      default:
+        return randomMajoranaPolynomial(8, 30, 8008);
+    }
+}
+
+const char *
+modelName(Model model)
+{
+    switch (model) {
+      case Model::Hubbard22: return "Hubbard22";
+      case Model::Hubbard13: return "Hubbard13";
+      case Model::Neutrino22: return "Neutrino22";
+      case Model::Random6: return "Random6";
+      case Model::Random8: return "Random8";
+    }
+    return "?";
+}
+
+FermionQubitMapping
+buildKind(MappingKind kind, const MajoranaPolynomial &poly)
+{
+    switch (kind) {
+      case MappingKind::JordanWigner:
+        return jordanWignerMapping(poly.numModes());
+      case MappingKind::BravyiKitaev:
+        return bravyiKitaevMapping(poly.numModes());
+      case MappingKind::BalancedTernaryTree:
+        return balancedTernaryTreeMapping(poly.numModes());
+      case MappingKind::Hatt:
+        return buildHattMapping(poly).mapping;
+      case MappingKind::HattUnoptimized:
+      default: {
+        HattOptions opt;
+        opt.vacuumPairing = false;
+        opt.descCache = false;
+        return buildHattMapping(poly, opt).mapping;
+      }
+    }
+}
+
+using Combo = std::tuple<MappingKind, Model>;
+
+class MappingProperty : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(MappingProperty, ValidMajoranaAlgebra)
+{
+    auto [kind, model] = GetParam();
+    MajoranaPolynomial poly = buildModel(model);
+    FermionQubitMapping map = buildKind(kind, poly);
+    MappingCheck check = verifyMapping(map);
+    EXPECT_TRUE(check.valid) << check.reason;
+}
+
+TEST_P(MappingProperty, VacuumPreservationWherePromised)
+{
+    auto [kind, model] = GetParam();
+    MajoranaPolynomial poly = buildModel(model);
+    FermionQubitMapping map = buildKind(kind, poly);
+    if (kind != MappingKind::HattUnoptimized) {
+        EXPECT_TRUE(preservesVacuum(map)) << mappingKindName(kind);
+    }
+}
+
+TEST_P(MappingProperty, MappedHamiltonianIsHermitian)
+{
+    auto [kind, model] = GetParam();
+    if (model == Model::Random6 || model == Model::Random8)
+        GTEST_SKIP() << "random polynomials are not Hermitian";
+    MajoranaPolynomial poly = buildModel(model);
+    PauliSum hq = mapToQubits(poly, buildKind(kind, poly));
+    EXPECT_LT(hq.maxImagCoeff(), 1e-8);
+}
+
+TEST_P(MappingProperty, TracePowersMatchJordanWigner)
+{
+    auto [kind, model] = GetParam();
+    MajoranaPolynomial poly = buildModel(model);
+    PauliSum hq = mapToQubits(poly, buildKind(kind, poly));
+    PauliSum ref = mapToQubits(poly, jordanWignerMapping(poly.numModes()));
+    for (int k = 1; k <= 3; ++k) {
+        EXPECT_NEAR(std::abs(hq.normalizedTracePower(k) -
+                             ref.normalizedTracePower(k)),
+                    0.0, 1e-8)
+            << "k=" << k;
+    }
+}
+
+TEST_P(MappingProperty, DistinctMonomialsStayDistinct)
+{
+    auto [kind, model] = GetParam();
+    MajoranaPolynomial poly = buildModel(model);
+    size_t monomials = 0;
+    for (const auto &t : poly.terms())
+        if (!t.indices.empty())
+            ++monomials;
+    PauliSum hq = mapToQubits(poly, buildKind(kind, poly));
+    EXPECT_EQ(hq.numNonIdentityTerms(), monomials);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, MappingProperty,
+    ::testing::Combine(
+        ::testing::Values(MappingKind::JordanWigner,
+                          MappingKind::BravyiKitaev,
+                          MappingKind::BalancedTernaryTree,
+                          MappingKind::Hatt,
+                          MappingKind::HattUnoptimized),
+        ::testing::Values(Model::Hubbard22, Model::Hubbard13,
+                          Model::Neutrino22, Model::Random6,
+                          Model::Random8)),
+    [](const ::testing::TestParamInfo<Combo> &info) {
+        std::string name = mappingKindName(std::get<0>(info.param)) +
+                           std::string("_") +
+                           modelName(std::get<1>(info.param));
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+/** Seed sweep: HATT structural invariants on random polynomials. */
+class HattSeedSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(HattSeedSweep, PredictedWeightExact)
+{
+    MajoranaPolynomial poly = randomMajoranaPolynomial(7, 21, GetParam());
+    HattResult res = buildHattMapping(poly);
+    PauliSum hq = mapToQubits(poly, res.mapping);
+    EXPECT_EQ(res.stats.predictedWeight, hq.pauliWeight());
+}
+
+TEST_P(HattSeedSweep, TreeIsCompleteAndVacuumPreserving)
+{
+    MajoranaPolynomial poly = randomMajoranaPolynomial(7, 21, GetParam());
+    HattResult res = buildHattMapping(poly);
+    EXPECT_TRUE(res.tree.isCompleteTree());
+    EXPECT_TRUE(preservesVacuum(res.mapping));
+    EXPECT_TRUE(verifyMapping(res.mapping).valid);
+}
+
+TEST_P(HattSeedSweep, NeverWorseThanWorstBaselineByMuch)
+{
+    MajoranaPolynomial poly = randomMajoranaPolynomial(7, 21, GetParam());
+    HattResult res = buildHattMapping(poly);
+    uint64_t hatt = mapToQubits(poly, res.mapping).pauliWeight();
+    uint64_t jw =
+        mapToQubits(poly, jordanWignerMapping(7)).pauliWeight();
+    uint64_t btt =
+        mapToQubits(poly, balancedTernaryTreeMapping(7)).pauliWeight();
+    // Greedy should never exceed the max of the fixed baselines: it can
+    // at least match per-qubit decisions of a fixed tree shape.
+    EXPECT_LE(hatt, std::max(jw, btt));
+}
+
+TEST_P(HattSeedSweep, WalkAndCacheAgree)
+{
+    MajoranaPolynomial poly = randomMajoranaPolynomial(6, 15, GetParam());
+    HattResult cached = buildHattMapping(poly, HattOptions{true, true});
+    HattResult walked = buildHattMapping(poly, HattOptions{true, false});
+    ASSERT_EQ(cached.mapping.majorana.size(),
+              walked.mapping.majorana.size());
+    for (size_t i = 0; i < cached.mapping.majorana.size(); ++i)
+        EXPECT_EQ(cached.mapping.majorana[i].string,
+                  walked.mapping.majorana[i].string);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HattSeedSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u,
+                                           77u, 88u));
+
+/** Mode-count sweep: every family stays valid as N grows. */
+class SizeSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(SizeSweep, ChainMappingsValidAtEverySize)
+{
+    const uint32_t n = GetParam();
+    MajoranaPolynomial poly = majoranaChain(n);
+    EXPECT_TRUE(verifyMapping(jordanWignerMapping(n)).valid);
+    EXPECT_TRUE(verifyMapping(bravyiKitaevMapping(n)).valid);
+    EXPECT_TRUE(verifyMapping(balancedTernaryTreeMapping(n)).valid);
+    HattResult res = buildHattMapping(poly);
+    EXPECT_TRUE(verifyMapping(res.mapping).valid);
+    EXPECT_TRUE(preservesVacuum(res.mapping));
+    // Chain Hamiltonian: every Majorana appears once, so the weight is
+    // the summed operator weight; the balanced tree is optimal at
+    // ~log3 per string and HATT must land at or below BTT here.
+    uint64_t hatt_w = mapToQubits(poly, res.mapping).pauliWeight();
+    uint64_t btt_w =
+        mapToQubits(poly, balancedTernaryTreeMapping(n)).pauliWeight();
+    EXPECT_LE(hatt_w, btt_w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 7u, 9u,
+                                           12u, 16u, 21u, 27u));
+
+} // namespace
+} // namespace hatt

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the coupling maps and the SWAP router: device shapes,
+ * coupling compliance after routing, unitary preservation up to the
+ * final layout permutation, and all-to-all being a routing no-op.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/pauli_evolution.hpp"
+#include "common/rng.hpp"
+#include "route/router.hpp"
+#include "sim/statevector.hpp"
+
+namespace hatt {
+namespace {
+
+TEST(CouplingMap, DeviceShapes)
+{
+    CouplingMap montreal = CouplingMap::ibmMontreal();
+    EXPECT_EQ(montreal.numQubits(), 27u);
+    EXPECT_TRUE(montreal.connected());
+    for (int q = 0; q < 27; ++q)
+        EXPECT_LE(montreal.neighbors(q).size(), 3u); // heavy-hex degree
+
+    CouplingMap manhattan = CouplingMap::ibmManhattan();
+    EXPECT_EQ(manhattan.numQubits(), 65u);
+    EXPECT_TRUE(manhattan.connected());
+
+    CouplingMap syc = CouplingMap::sycamore();
+    EXPECT_EQ(syc.numQubits(), 54u);
+    EXPECT_TRUE(syc.connected());
+    for (uint32_t q = 0; q < 54; ++q)
+        EXPECT_LE(syc.neighbors(static_cast<int>(q)).size(), 4u);
+}
+
+TEST(CouplingMap, DistancesAndHops)
+{
+    CouplingMap line = CouplingMap::line(5);
+    EXPECT_EQ(line.distance(0, 4), 4);
+    EXPECT_EQ(line.nextHop(0, 4), 1);
+    EXPECT_TRUE(line.adjacent(2, 3));
+    EXPECT_FALSE(line.adjacent(0, 2));
+}
+
+TEST(Router, RoutedCircuitRespectsCoupling)
+{
+    // All-pairs CNOTs on a line force swapping.
+    Circuit logical(4);
+    for (int a = 0; a < 4; ++a)
+        for (int b = 0; b < 4; ++b)
+            if (a != b)
+                logical.cnot(a, b);
+    CouplingMap device = CouplingMap::line(4);
+    RoutedCircuit routed = routeCircuit(logical, device);
+    EXPECT_TRUE(respectsCoupling(routed.circuit, device));
+    EXPECT_GT(routed.swapsInserted, 0u);
+}
+
+TEST(Router, AllToAllInsertsNoSwaps)
+{
+    Circuit logical(5);
+    for (int a = 0; a < 5; ++a)
+        for (int b = a + 1; b < 5; ++b)
+            logical.cnot(a, b);
+    RoutedCircuit routed =
+        routeCircuit(logical, CouplingMap::allToAll(5));
+    EXPECT_EQ(routed.swapsInserted, 0u);
+    EXPECT_EQ(routed.circuit.cnotCount(), logical.cnotCount());
+}
+
+TEST(Router, PreservesSemanticsUpToLayout)
+{
+    // Simulate logical circuit and routed circuit; amplitudes must agree
+    // after permuting qubits by the final layout.
+    Rng rng(41);
+    Circuit logical(3);
+    logical.h(0);
+    logical.cnot(0, 2);
+    logical.rz(2, 0.9);
+    logical.cnot(1, 2);
+    logical.h(2);
+    logical.cnot(2, 0);
+
+    CouplingMap device = CouplingMap::line(3);
+    RoutedCircuit routed = routeCircuit(logical, device);
+    ASSERT_TRUE(respectsCoupling(routed.circuit, device));
+
+    StateVector a(3);
+    a.applyCircuit(logical);
+    StateVector b(3);
+    b.applyCircuit(routed.circuit);
+
+    // Remap basis indices: logical qubit l lives at physical
+    // routed.final[l].
+    std::vector<cplx> remapped(8);
+    for (uint64_t phys = 0; phys < 8; ++phys) {
+        uint64_t logical_idx = 0;
+        for (int l = 0; l < 3; ++l)
+            if (phys & (uint64_t{1} << routed.final[l]))
+                logical_idx |= uint64_t{1} << l;
+        remapped[logical_idx] = b.amplitude(phys);
+    }
+    cplx inner{};
+    for (uint64_t i = 0; i < 8; ++i)
+        inner += std::conj(a.amplitude(i)) * remapped[i];
+    EXPECT_NEAR(std::abs(inner), 1.0, 1e-10);
+}
+
+TEST(Router, GreedyLayoutIsInjective)
+{
+    Circuit logical(6);
+    for (int i = 0; i + 1 < 6; ++i)
+        logical.cnot(i, i + 1);
+    CouplingMap device = CouplingMap::ibmMontreal();
+    std::vector<int> layout = greedyLayout(logical, device);
+    std::vector<bool> used(device.numQubits(), false);
+    for (int p : layout) {
+        ASSERT_GE(p, 0);
+        ASSERT_LT(p, static_cast<int>(device.numQubits()));
+        EXPECT_FALSE(used[p]);
+        used[p] = true;
+    }
+}
+
+TEST(Router, ThrowsWhenDeviceTooSmall)
+{
+    Circuit logical(10);
+    EXPECT_THROW(routeCircuit(logical, CouplingMap::line(4)),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace hatt

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the Fermihedral stand-in search baselines: the fast
+ * path-counting weight evaluator vs the exact mapped weight, exhaustive
+ * optimality at small N, and stochastic-search determinism/quality.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ham/qubit_hamiltonian.hpp"
+#include "mapping/balanced_tree.hpp"
+#include "mapping/hatt.hpp"
+#include "mapping/search.hpp"
+#include "mapping/verify.hpp"
+#include "models/chains.hpp"
+#include "models/hubbard.hpp"
+
+namespace hatt {
+namespace {
+
+TEST(Search, WeightEvaluatorMatchesMappedWeight)
+{
+    for (uint64_t seed : {5ull, 6ull, 7ull}) {
+        MajoranaPolynomial poly = randomMajoranaPolynomial(4, 10, seed);
+        TernaryTree tree = TernaryTree::balanced(4);
+        std::vector<int> assign;
+        for (int i = 0; i < 8; ++i)
+            assign.push_back(i);
+        uint64_t fast = treeAssignmentWeight(tree, assign, poly);
+
+        FermionQubitMapping map =
+            balancedTernaryTreeMapping(4, BttAssignment::Natural);
+        PauliSum mapped = mapToQubits(poly, map);
+        EXPECT_EQ(fast, mapped.pauliWeight()) << "seed=" << seed;
+    }
+}
+
+TEST(Search, ExhaustiveOptimalAtLeastAsGoodAsHatt)
+{
+    MajoranaPolynomial poly = randomMajoranaPolynomial(3, 8, 42);
+    auto exact = exhaustiveTreeSearch(poly, 3);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_TRUE(verifyMapping(exact->mapping).valid);
+
+    HattResult hatt = buildHattMapping(poly);
+    PauliSum viaHatt = mapToQubits(poly, hatt.mapping);
+    EXPECT_LE(exact->weight, viaHatt.pauliWeight());
+
+    PauliSum viaExact = mapToQubits(poly, exact->mapping);
+    EXPECT_EQ(viaExact.pauliWeight(), exact->weight);
+}
+
+TEST(Search, ExhaustiveRefusesLargeInstances)
+{
+    MajoranaPolynomial poly = majoranaChain(6);
+    EXPECT_FALSE(exhaustiveTreeSearch(poly, 3).has_value());
+}
+
+TEST(Search, StochasticDeterministicGivenSeed)
+{
+    MajoranaPolynomial poly =
+        MajoranaPolynomial::fromFermion(hubbardModel({2, 2, 1.0, 4.0}));
+    SearchResult a = stochasticTreeSearch(poly, 3, 10, 77);
+    SearchResult b = stochasticTreeSearch(poly, 3, 10, 77);
+    EXPECT_EQ(a.weight, b.weight);
+    for (size_t i = 0; i < a.mapping.majorana.size(); ++i)
+        EXPECT_EQ(a.mapping.majorana[i].string,
+                  b.mapping.majorana[i].string);
+    EXPECT_TRUE(verifyMapping(a.mapping).valid);
+    PauliSum mapped = mapToQubits(poly, a.mapping);
+    EXPECT_EQ(mapped.pauliWeight(), a.weight);
+}
+
+TEST(Search, StochasticNotWorseThanRandomStart)
+{
+    MajoranaPolynomial poly = randomMajoranaPolynomial(4, 12, 9);
+    SearchResult few = stochasticTreeSearch(poly, 1, 0, 5);
+    SearchResult many = stochasticTreeSearch(poly, 6, 20, 5);
+    EXPECT_LE(many.weight, few.weight);
+}
+
+} // namespace
+} // namespace hatt

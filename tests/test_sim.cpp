@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the state-vector simulator, noise models, and shot-based
+ * energy estimation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/pauli_evolution.hpp"
+#include "sim/measure.hpp"
+#include "sim/noise.hpp"
+#include "sim/statevector.hpp"
+
+namespace hatt {
+namespace {
+
+TEST(StateVector, BellState)
+{
+    StateVector psi(2);
+    Circuit c(2);
+    c.h(0);
+    c.cnot(0, 1);
+    psi.applyCircuit(c);
+    EXPECT_NEAR(std::abs(psi.amplitude(0b00)), 1.0 / std::sqrt(2.0),
+                1e-12);
+    EXPECT_NEAR(std::abs(psi.amplitude(0b11)), 1.0 / std::sqrt(2.0),
+                1e-12);
+    EXPECT_NEAR(std::abs(psi.amplitude(0b01)), 0.0, 1e-12);
+    // <ZZ> = 1, <XX> = 1 on the Bell state.
+    EXPECT_NEAR(psi.expectation(PauliString::fromLabel("ZZ")).real(), 1.0,
+                1e-12);
+    EXPECT_NEAR(psi.expectation(PauliString::fromLabel("XX")).real(), 1.0,
+                1e-12);
+    EXPECT_NEAR(psi.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, PauliApplicationMatchesGates)
+{
+    // Applying Y via gates (basis change) and via applyPauli agree.
+    StateVector a(1), b(1);
+    Circuit prep(1);
+    prep.h(0);
+    prep.rz(0, 0.7);
+    a.applyCircuit(prep);
+    b.applyCircuit(prep);
+    a.applyPauli(PauliString::fromLabel("Y"));
+    // Y = i X Z as matrices; emulate via Z then X then global i.
+    b.applyPauli(PauliString::fromLabel("Z"));
+    b.applyPauli(PauliString::fromLabel("X"));
+    double fid = StateVector::fidelity(a, b);
+    EXPECT_NEAR(fid, 1.0, 1e-12); // fidelity ignores the global phase
+}
+
+TEST(StateVector, ExpectationOfSum)
+{
+    StateVector psi(2); // |00>
+    PauliSum h(2);
+    h.add(cplx{0.5, 0.0}, PauliString::fromLabel("IZ"));
+    h.add(cplx{0.25, 0.0}, PauliString::fromLabel("ZI"));
+    h.add(cplx{3.0, 0.0}, PauliString::fromLabel("II"));
+    h.add(cplx{9.0, 0.0}, PauliString::fromLabel("XX")); // zero on |00>
+    EXPECT_NEAR(psi.expectation(h).real(), 3.75, 1e-12);
+}
+
+TEST(StateVector, SampleDistribution)
+{
+    StateVector psi(1);
+    Circuit c(1);
+    c.h(0);
+    psi.applyCircuit(c);
+    Rng rng(3);
+    int ones = 0;
+    const int shots = 4000;
+    for (int s = 0; s < shots; ++s)
+        ones += psi.sample(rng) & 1;
+    EXPECT_NEAR(static_cast<double>(ones) / shots, 0.5, 0.05);
+}
+
+TEST(Noise, ZeroNoiseIsExact)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cnot(0, 1);
+    StateVector noisy(2), clean(2);
+    Rng rng(9);
+    runNoisyTrajectory(c, noisy, NoiseModel{}, rng);
+    clean.applyCircuit(c);
+    EXPECT_GT(StateVector::fidelity(noisy, clean), 1.0 - 1e-12);
+}
+
+TEST(Noise, DepolarizingDegradesFidelity)
+{
+    Circuit c(3);
+    for (int rep = 0; rep < 10; ++rep) {
+        c.h(0);
+        c.cnot(0, 1);
+        c.cnot(1, 2);
+        c.cnot(1, 2);
+        c.cnot(0, 1);
+        c.h(0);
+    }
+    StateVector clean(3);
+    clean.applyCircuit(c);
+
+    NoiseModel noise;
+    noise.p1 = 0.02;
+    noise.p2 = 0.05;
+    Rng rng(11);
+    int degraded = 0;
+    const int trials = 50;
+    for (int t = 0; t < trials; ++t) {
+        StateVector noisy(3);
+        runNoisyTrajectory(c, noisy, noise, rng);
+        if (StateVector::fidelity(noisy, clean) < 1.0 - 1e-9)
+            ++degraded;
+    }
+    // With ~60 noisy gate slots per run, most trajectories pick up at
+    // least one error.
+    EXPECT_GT(degraded, trials / 2);
+}
+
+TEST(Noise, ReadoutFlipsBits)
+{
+    NoiseModel noise;
+    noise.readout = 1.0; // always flip
+    Rng rng(1);
+    EXPECT_EQ(applyReadoutError(0b000, 3, noise, rng), 0b111u);
+}
+
+TEST(Measure, GroupingIsQubitWiseCommuting)
+{
+    PauliSum h(3);
+    h.add(cplx{1.0, 0.0}, PauliString::fromLabel("ZZI"));
+    h.add(cplx{1.0, 0.0}, PauliString::fromLabel("IZZ"));
+    h.add(cplx{1.0, 0.0}, PauliString::fromLabel("XXI"));
+    h.add(cplx{1.0, 0.0}, PauliString::fromLabel("IIX"));
+    auto groups = groupQubitWise(h);
+    // ZZI and IZZ share a group; XXI conflicts with them on q1/q2 but
+    // can host IIX.
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].termIndices.size(), 2u);
+    EXPECT_EQ(groups[1].termIndices.size(), 2u);
+}
+
+TEST(Measure, NoiselessEstimateMatchesExactExpectation)
+{
+    // Energy of a small Hamiltonian in a product state.
+    PauliSum h(2);
+    h.add(cplx{0.5, 0.0}, PauliString::fromLabel("ZI"));
+    h.add(cplx{-0.25, 0.0}, PauliString::fromLabel("IZ"));
+    h.add(cplx{0.75, 0.0}, PauliString::fromLabel("XX"));
+    h.add(cplx{1.5, 0.0}, PauliString::fromLabel("II"));
+
+    Circuit prep(2);
+    prep.h(0);
+    prep.cnot(0, 1);
+
+    StateVector exact(2);
+    exact.applyCircuit(prep);
+    double expect = exact.expectation(h).real();
+
+    EstimationOptions opt;
+    opt.shotsPerGroup = 20000;
+    Rng rng(13);
+    double est = estimateEnergy(prep, 0, h, opt, rng);
+    EXPECT_NEAR(est, expect, 0.05);
+}
+
+TEST(Measure, TrajectoryEnergiesUnbiasedAtZeroNoise)
+{
+    PauliSum h(2);
+    h.add(cplx{1.0, 0.0}, PauliString::fromLabel("ZZ"));
+    Circuit prep(2);
+    prep.x(0);
+    Rng rng(7);
+    auto energies = trajectoryEnergies(prep, 0, h, NoiseModel{}, 10, rng);
+    for (double e : energies)
+        EXPECT_NEAR(e, -1.0, 1e-12); // |01>: Z eigenvalues -1 * +1
+}
+
+TEST(Measure, MeanVarianceHelper)
+{
+    MeanVar mv = meanVariance({1.0, 2.0, 3.0, 4.0});
+    EXPECT_NEAR(mv.mean, 2.5, 1e-12);
+    EXPECT_NEAR(mv.variance, 1.25, 1e-12);
+}
+
+} // namespace
+} // namespace hatt

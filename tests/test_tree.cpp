@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the ternary tree substrate: balanced construction, string
+ * extraction (including the paper's Fig. 3 example), anticommutation of
+ * extracted strings, and Z-descendant walks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tree/ternary_tree.hpp"
+
+namespace hatt {
+namespace {
+
+TEST(TernaryTree, BalancedIsComplete)
+{
+    for (uint32_t n : {1u, 2u, 3u, 4u, 7u, 13u, 40u}) {
+        TernaryTree tree = TernaryTree::balanced(n);
+        EXPECT_TRUE(tree.isCompleteTree()) << n;
+        EXPECT_EQ(tree.numNodes(), 3 * n + 1);
+    }
+}
+
+TEST(TernaryTree, BalancedDepthIsLogarithmic)
+{
+    // Average string weight should be ~ceil(log3(2N+1)) (paper Sec. III-B).
+    TernaryTree tree = TernaryTree::balanced(13); // 27 leaves: depth 3
+    auto depths = tree.leafDepths();
+    for (uint32_t d : depths)
+        EXPECT_EQ(d, 3u);
+}
+
+TEST(TernaryTree, ExtractStringsPaperFig3Shape)
+{
+    // Reproduce Fig. 3: root In2; In2.X = In3, In2.Y = In0; In0.X = leaf,
+    // In0.Y = leaf, In0.Z = In1. The green path In2 -Y-> In0 -Z-> In1
+    // -X-> leaf spells I3 Y2 X1 Z0.
+    TernaryTree tree(4); // 9 leaves, ids 0..8; internals 9..12
+    int in3 = tree.addInternal(3, 0, 1, 2);
+    int in1 = tree.addInternal(1, 3, 4, 5);
+    int in0 = tree.addInternal(0, 6, 7, in1);
+    int in2 = tree.addInternal(2, in3, in0, 8);
+    ASSERT_TRUE(tree.isCompleteTree());
+    EXPECT_EQ(tree.root(), in2);
+
+    auto strings = tree.extractStrings();
+    ASSERT_EQ(strings.size(), 9u);
+    // Leaf 3 is In1's X child; path root -Y-> In0 -Z-> In1 -X-> leaf3.
+    EXPECT_EQ(strings[3].toString(), "IYXZ");
+    EXPECT_EQ(strings[3].toCompactString(), "Y2X1Z0");
+    // Leaf 8 is root's Z child: single Z on qubit 2.
+    EXPECT_EQ(strings[8].toCompactString(), "Z2");
+}
+
+TEST(TernaryTree, AllExtractedStringsPairwiseAnticommute)
+{
+    for (uint32_t n : {1u, 2u, 5u, 9u}) {
+        TernaryTree tree = TernaryTree::balanced(n);
+        auto strings = tree.extractStrings();
+        for (size_t i = 0; i < strings.size(); ++i) {
+            for (size_t j = i + 1; j < strings.size(); ++j) {
+                EXPECT_FALSE(strings[i].commutesWith(strings[j]))
+                    << "n=" << n << " i=" << i << " j=" << j;
+                EXPECT_NE(strings[i], strings[j]);
+            }
+        }
+    }
+}
+
+TEST(TernaryTree, ZDescendant)
+{
+    TernaryTree tree = TernaryTree::balanced(4);
+    int root = tree.root();
+    int zd = tree.zDescendant(root);
+    EXPECT_TRUE(tree.node(zd).isLeaf());
+    // Walking from a leaf returns the leaf itself.
+    EXPECT_EQ(tree.zDescendant(zd), zd);
+}
+
+TEST(TernaryTree, AddInternalWiresParents)
+{
+    TernaryTree tree(1);
+    int p = tree.addInternal(0, 0, 1, 2);
+    EXPECT_EQ(tree.node(0).parent, p);
+    EXPECT_EQ(tree.node(p).child[BranchY], 1);
+    EXPECT_TRUE(tree.isCompleteTree());
+}
+
+TEST(TernaryTree, LeafIndicesCoverAllLeaves)
+{
+    TernaryTree tree = TernaryTree::balanced(6);
+    std::set<int> seen;
+    for (size_t i = 0; i < tree.numNodes(); ++i)
+        if (tree.node(static_cast<int>(i)).isLeaf())
+            seen.insert(tree.node(static_cast<int>(i)).leafIndex);
+    EXPECT_EQ(seen.size(), tree.numLeaves());
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), static_cast<int>(tree.numLeaves()) - 1);
+}
+
+TEST(TernaryTree, ThrowsOnZeroModes)
+{
+    EXPECT_THROW(TernaryTree t(0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace hatt
