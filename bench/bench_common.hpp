@@ -9,9 +9,11 @@
  * collects the metrics every table reports.
  */
 
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "circuit/optimize.hpp"
 #include "circuit/pauli_evolution.hpp"
@@ -27,6 +29,89 @@
 #include "mapping/search.hpp"
 
 namespace hatt::bench {
+
+/**
+ * Machine-readable benchmark log: collects one record per measured
+ * configuration and writes BENCH_<benchmark>.json in the working
+ * directory, so the performance trajectory can be tracked across PRs.
+ *
+ * Schema: {"benchmark": "...", "records": [{"name": "...",
+ * "seconds": w, "pauli_weight": n|null, "candidates": n|null}, ...]}.
+ */
+class JsonReporter
+{
+  public:
+    explicit JsonReporter(std::string benchmark)
+        : benchmark_(std::move(benchmark))
+    {
+    }
+
+    void
+    add(const std::string &name, double seconds,
+        std::optional<uint64_t> pauli_weight = std::nullopt,
+        std::optional<uint64_t> candidates = std::nullopt)
+    {
+        Record r;
+        r.name = name;
+        r.seconds = seconds;
+        r.pauliWeight = pauli_weight;
+        r.candidates = candidates;
+        records_.push_back(std::move(r));
+    }
+
+    /**
+     * Write BENCH_<benchmark>.json; returns the file name, or "" (with a
+     * note on stderr) when the file cannot be written.
+     */
+    std::string
+    write() const
+    {
+        const std::string file = "BENCH_" + benchmark_ + ".json";
+        std::ofstream os(file);
+        if (!os) {
+            std::cerr << "JsonReporter: cannot open " << file
+                      << " for writing\n";
+            return "";
+        }
+        os << "{\n  \"benchmark\": \"" << benchmark_ << "\",\n"
+           << "  \"records\": [\n";
+        for (size_t i = 0; i < records_.size(); ++i) {
+            const Record &r = records_[i];
+            os << "    {\"name\": \"" << r.name << "\", \"seconds\": "
+               << r.seconds;
+            os << ", \"pauli_weight\": ";
+            if (r.pauliWeight)
+                os << *r.pauliWeight;
+            else
+                os << "null";
+            os << ", \"candidates\": ";
+            if (r.candidates)
+                os << *r.candidates;
+            else
+                os << "null";
+            os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n}\n";
+        os.flush();
+        if (!os.good()) {
+            std::cerr << "JsonReporter: write to " << file << " failed\n";
+            return "";
+        }
+        return file;
+    }
+
+  private:
+    struct Record
+    {
+        std::string name;
+        double seconds = 0.0;
+        std::optional<uint64_t> pauliWeight;
+        std::optional<uint64_t> candidates;
+    };
+
+    std::string benchmark_;
+    std::vector<Record> records_;
+};
 
 /** Metrics reported per (case, mapping) cell. */
 struct CellMetrics

@@ -2,15 +2,20 @@
  * @file
  * Google-benchmark microbenchmarks of the hot substrate operations:
  * Pauli string products, Hamiltonian mapping, and HATT construction.
+ * Also emits BENCH_micro_pauli.json (fixed-repetition wall times for the
+ * headline kernels) so the perf trajectory is tracked across PRs.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "fermion/majorana.hpp"
 #include "ham/qubit_hamiltonian.hpp"
 #include "mapping/hatt.hpp"
 #include "mapping/jordan_wigner.hpp"
+#include "mapping/search.hpp"
 #include "models/chains.hpp"
 #include "models/hubbard.hpp"
 
@@ -87,8 +92,69 @@ BM_HattBuild(benchmark::State &state)
     for (auto _ : state)
         benchmark::DoNotOptimize(buildHattMapping(poly));
 }
-BENCHMARK(BM_HattBuild)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_HattBuild)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+/** Fixed-workload wall times for the JSON perf log. */
+void
+writeJsonLog()
+{
+    bench::JsonReporter json("micro_pauli");
+
+    {
+        Rng rng(3);
+        PauliString a = randomString(64, rng);
+        PauliString b = randomString(64, rng);
+        constexpr int reps = 2'000'000;
+        Timer t;
+        uint64_t sink = 0;
+        for (int i = 0; i < reps; ++i) {
+            auto [c, phase] = PauliString::multiply(a, b);
+            sink += c.weight() + static_cast<uint64_t>(phase);
+        }
+        benchmark::DoNotOptimize(sink);
+        json.add("pauli_multiply_64q_x" + std::to_string(reps),
+                 t.seconds());
+    }
+
+    for (uint32_t n : {64u, 128u}) {
+        MajoranaPolynomial poly = majoranaChain(n);
+        Timer t;
+        HattResult res = buildHattMapping(poly);
+        json.add("hatt_build_chain" + std::to_string(n), t.seconds(),
+                 res.stats.predictedWeight, res.stats.candidatesEvaluated);
+
+        HattOptions unopt;
+        unopt.vacuumPairing = false;
+        unopt.descCache = false;
+        Timer t2;
+        HattResult res2 = buildHattMapping(poly, unopt);
+        json.add("hatt_unopt_build_chain" + std::to_string(n), t2.seconds(),
+                 res2.stats.predictedWeight,
+                 res2.stats.candidatesEvaluated);
+    }
+
+    {
+        MajoranaPolynomial poly =
+            MajoranaPolynomial::fromFermion(hubbardModel({2, 8, 1.0, 4.0}));
+        Timer t;
+        SearchResult res = stochasticTreeSearch(poly, 4, 20, 2024);
+        json.add("stochastic_search_hub2x8", t.seconds(), res.weight,
+                 res.evaluated);
+    }
+
+    std::cout << "wrote " << json.write() << "\n";
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    writeJsonLog();
+    return 0;
+}

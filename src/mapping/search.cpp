@@ -7,6 +7,7 @@
 #include <memory>
 #include <numeric>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 
 namespace hatt {
@@ -33,7 +34,7 @@ leafPaths(const TernaryTree &tree)
     return paths;
 }
 
-/** Weight evaluator reusing precomputed paths; scratch arrays reused. */
+/** Full weight evaluator reusing precomputed paths; scratch reused. */
 class WeightEvaluator
 {
   public:
@@ -171,7 +172,10 @@ randomTree(uint32_t num_modes, Rng &rng)
         for (int k = 0; k < 3; ++k) {
             size_t idx = rng.nextInt(active.size());
             picked[k] = active[idx];
-            active.erase(active.begin() + static_cast<long>(idx));
+            // Order is irrelevant under a uniform pick: swap-with-back
+            // keeps removal O(1) instead of the O(n) middle erase.
+            active[idx] = active.back();
+            active.pop_back();
         }
         active.push_back(
             tree.addInternal(qubit++, picked[0], picked[1], picked[2]));
@@ -196,6 +200,167 @@ mappingFromAssignment(const TernaryTree &tree,
 }
 
 } // namespace
+
+// ------------------------------------------------------ DeltaWeightEvaluator
+
+struct DeltaWeightEvaluator::Impl
+{
+    std::vector<std::vector<std::pair<int, int>>> paths;
+    std::vector<const MajoranaTerm *> terms; //!< non-empty terms only
+    std::vector<std::vector<uint32_t>> inv;  //!< majorana -> term ids
+    uint32_t num_majoranas = 0;
+
+    std::vector<int> labels; //!< leaf position -> label (2N = discard)
+    std::vector<int> assign; //!< label -> leaf position (labels < 2N)
+
+    std::vector<uint32_t> contrib; //!< committed per-term Pauli weight
+    uint64_t total = 0;
+
+    // Scratch for term evaluation (seed's path-counting loop).
+    std::vector<std::array<uint8_t, 3>> counts;
+    std::vector<int> touched_nodes;
+
+    // Term-dedup stamps + pending proposal.
+    std::vector<uint32_t> stamp;
+    uint32_t epoch = 0;
+    uint32_t prop_i = 0, prop_j = 0;
+    uint64_t prop_total = 0;
+    bool prop_valid = false;
+    std::vector<uint32_t> prop_terms;
+    std::vector<uint32_t> prop_contrib;
+
+    /**
+     * Pauli weight of term @p t (count of qubits whose X/Y/Z path parities
+     * multiply to a non-identity) with labels a/b rerouted to pos_a/pos_b.
+     */
+    uint32_t
+    evalTerm(uint32_t t, int a, int pos_a, int b, int pos_b)
+    {
+        touched_nodes.clear();
+        for (uint32_t mi : terms[t]->indices) {
+            int leaf = static_cast<int>(mi) == a   ? pos_a
+                       : static_cast<int>(mi) == b ? pos_b
+                                                   : assign[mi];
+            for (auto [node, branch] : paths[leaf]) {
+                auto &c = counts[node];
+                if (c[0] == 0 && c[1] == 0 && c[2] == 0)
+                    touched_nodes.push_back(node);
+                c[branch] ^= 1;
+            }
+        }
+        uint32_t out = 0;
+        for (int node : touched_nodes) {
+            auto &c = counts[node];
+            if (!(c[0] == c[1] && c[1] == c[2]))
+                ++out;
+            c = {0, 0, 0};
+        }
+        return out;
+    }
+};
+
+DeltaWeightEvaluator::DeltaWeightEvaluator(const TernaryTree &tree,
+                                           const MajoranaPolynomial &poly)
+    : impl_(new Impl)
+{
+    impl_->paths = leafPaths(tree);
+    impl_->num_majoranas = poly.numMajoranas();
+    impl_->inv.resize(impl_->num_majoranas);
+    for (const auto &term : poly.terms()) {
+        if (term.indices.empty())
+            continue;
+        const uint32_t t = static_cast<uint32_t>(impl_->terms.size());
+        impl_->terms.push_back(&term);
+        for (uint32_t mi : term.indices)
+            impl_->inv[mi].push_back(t);
+    }
+    impl_->counts.assign(tree.numNodes(), {0, 0, 0});
+    impl_->contrib.assign(impl_->terms.size(), 0);
+    impl_->stamp.assign(impl_->terms.size(), 0);
+}
+
+DeltaWeightEvaluator::~DeltaWeightEvaluator() { delete impl_; }
+
+uint64_t
+DeltaWeightEvaluator::reset(const std::vector<int> &labels)
+{
+    Impl &im = *impl_;
+    im.labels = labels;
+    im.assign.assign(im.num_majoranas, -1);
+    for (size_t pos = 0; pos < labels.size(); ++pos)
+        if (labels[pos] >= 0 &&
+            labels[pos] < static_cast<int>(im.num_majoranas))
+            im.assign[labels[pos]] = static_cast<int>(pos);
+    im.total = 0;
+    for (uint32_t t = 0; t < im.terms.size(); ++t) {
+        im.contrib[t] = im.evalTerm(t, -1, -1, -1, -1);
+        im.total += im.contrib[t];
+    }
+    im.prop_valid = false;
+    return im.total;
+}
+
+uint64_t
+DeltaWeightEvaluator::proposeSwap(uint32_t i, uint32_t j)
+{
+    Impl &im = *impl_;
+    const int a = im.labels[i];
+    const int b = im.labels[j];
+    ++im.epoch;
+    im.prop_terms.clear();
+    im.prop_contrib.clear();
+    int64_t delta = 0;
+    auto visit = [&](int label) {
+        if (label < 0 || label >= static_cast<int>(im.num_majoranas))
+            return; // the discarded label sits in no term
+        for (uint32_t t : im.inv[label]) {
+            if (im.stamp[t] == im.epoch)
+                continue;
+            im.stamp[t] = im.epoch;
+            // After the swap, label a sits at position j and b at i.
+            uint32_t now = im.evalTerm(t, a, static_cast<int>(j), b,
+                                       static_cast<int>(i));
+            im.prop_terms.push_back(t);
+            im.prop_contrib.push_back(now);
+            delta += static_cast<int64_t>(now) -
+                     static_cast<int64_t>(im.contrib[t]);
+        }
+    };
+    visit(a);
+    visit(b);
+    im.prop_i = i;
+    im.prop_j = j;
+    im.prop_total = static_cast<uint64_t>(
+        static_cast<int64_t>(im.total) + delta);
+    im.prop_valid = true;
+    return im.prop_total;
+}
+
+void
+DeltaWeightEvaluator::acceptSwap()
+{
+    Impl &im = *impl_;
+    assert(im.prop_valid);
+    for (size_t k = 0; k < im.prop_terms.size(); ++k)
+        im.contrib[im.prop_terms[k]] = im.prop_contrib[k];
+    im.total = im.prop_total;
+    std::swap(im.labels[im.prop_i], im.labels[im.prop_j]);
+    const int a = im.labels[im.prop_i];
+    const int b = im.labels[im.prop_j];
+    if (a >= 0 && a < static_cast<int>(im.num_majoranas))
+        im.assign[a] = static_cast<int>(im.prop_i);
+    if (b >= 0 && b < static_cast<int>(im.num_majoranas))
+        im.assign[b] = static_cast<int>(im.prop_j);
+    im.prop_valid = false;
+}
+
+uint64_t
+DeltaWeightEvaluator::total() const
+{
+    return impl_->total;
+}
+
+// ------------------------------------------------------------------ search
 
 uint64_t
 treeAssignmentWeight(const TernaryTree &tree,
@@ -258,57 +423,72 @@ stochasticTreeSearch(const MajoranaPolynomial &poly, uint32_t restarts,
     Rng rng(seed);
     const uint32_t num_leaves = 2 * n + 1;
 
-    uint64_t best = UINT64_MAX;
-    uint64_t evaluated = 0;
-    TernaryTree best_tree(n);
-    std::vector<int> best_assign;
-
+    // Generate every restart's starting point from the single seeded
+    // stream first, so the parallel hill climbs below consume no shared
+    // randomness and the result is identical for every thread count.
+    struct Restart
+    {
+        TernaryTree tree;
+        std::vector<int> labels; //!< labels[pos] = label (2N = discard)
+        uint64_t weight = UINT64_MAX;
+        uint64_t evaluated = 0;
+    };
+    std::vector<Restart> runs(restarts);
     for (uint32_t r = 0; r < restarts; ++r) {
-        TernaryTree tree = randomTree(n, rng);
-        WeightEvaluator eval(tree, poly);
+        runs[r].tree = randomTree(n, rng);
+        runs[r].labels.resize(num_leaves);
+        std::iota(runs[r].labels.begin(), runs[r].labels.end(), 0);
+        std::shuffle(runs[r].labels.begin(), runs[r].labels.end(),
+                     rng.engine());
+    }
 
-        // labels[pos] = Majorana label at leaf position pos (2N = discard).
-        std::vector<int> labels(num_leaves);
-        std::iota(labels.begin(), labels.end(), 0);
-        std::shuffle(labels.begin(), labels.end(), rng.engine());
-
-        auto assignment = [&]() {
-            std::vector<int> assign(num_leaves);
-            for (uint32_t pos = 0; pos < num_leaves; ++pos)
-                assign[labels[pos]] = static_cast<int>(pos);
-            assign.resize(2 * n);
-            return assign;
-        };
-
-        uint64_t cur = eval.evaluate(assignment());
-        ++evaluated;
+    // Hill-climb every restart independently (embarrassingly parallel).
+    parallelFor(restarts, 1, [&](size_t r) {
+        Restart &run = runs[r];
+        DeltaWeightEvaluator eval(run.tree, poly);
+        uint64_t cur = eval.reset(run.labels);
+        run.evaluated = 1;
         for (uint32_t sweep = 0; sweep < max_sweeps; ++sweep) {
             bool improved = false;
             for (uint32_t i = 0; i < num_leaves; ++i) {
                 for (uint32_t j = i + 1; j < num_leaves; ++j) {
-                    std::swap(labels[i], labels[j]);
-                    uint64_t w = eval.evaluate(assignment());
-                    ++evaluated;
+                    uint64_t w = eval.proposeSwap(i, j);
+                    ++run.evaluated;
                     if (w < cur) {
                         cur = w;
+                        eval.acceptSwap();
+                        std::swap(run.labels[i], run.labels[j]);
                         improved = true;
-                    } else {
-                        std::swap(labels[i], labels[j]);
                     }
                 }
             }
             if (!improved)
                 break;
         }
-        if (cur < best) {
-            best = cur;
-            best_tree = tree;
-            best_assign = assignment();
+        run.weight = cur;
+    });
+
+    // Fold in restart order: strict < keeps the earliest best, exactly as
+    // the serial loop did.
+    uint64_t best = UINT64_MAX;
+    uint64_t evaluated = 0;
+    const Restart *winner = nullptr;
+    for (const Restart &run : runs) {
+        evaluated += run.evaluated;
+        if (run.weight < best) {
+            best = run.weight;
+            winner = &run;
         }
     }
 
     SearchResult res;
-    res.mapping = mappingFromAssignment(best_tree, best_assign, "FH*");
+    if (winner) {
+        std::vector<int> assign(num_leaves);
+        for (uint32_t pos = 0; pos < num_leaves; ++pos)
+            assign[winner->labels[pos]] = static_cast<int>(pos);
+        assign.resize(2 * n);
+        res.mapping = mappingFromAssignment(winner->tree, assign, "FH*");
+    }
     res.weight = best;
     res.evaluated = evaluated;
     return res;

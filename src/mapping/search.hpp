@@ -19,12 +19,54 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "fermion/majorana.hpp"
 #include "mapping/mapping.hpp"
 #include "tree/ternary_tree.hpp"
 
 namespace hatt {
+
+/**
+ * Incremental Pauli-weight evaluator for leaf-label swaps on a fixed tree.
+ *
+ * reset() performs one full path-counting evaluation and caches a 0/1
+ * contribution per Hamiltonian term; proposeSwap(i, j) then re-scores only
+ * the terms containing the Majorana labels currently at leaf positions i
+ * or j (found through a label -> terms inverted index), so each candidate
+ * swap costs O(touched terms * depth) instead of O(all terms * depth).
+ * Results are exactly equal to a full re-evaluation — the hill-climbing
+ * search built on top is bit-identical to the naive implementation.
+ */
+class DeltaWeightEvaluator
+{
+  public:
+    DeltaWeightEvaluator(const TernaryTree &tree,
+                         const MajoranaPolynomial &poly);
+    ~DeltaWeightEvaluator();
+    DeltaWeightEvaluator(const DeltaWeightEvaluator &) = delete;
+    DeltaWeightEvaluator &operator=(const DeltaWeightEvaluator &) = delete;
+
+    /**
+     * Full evaluation of the assignment where leaf position p holds
+     * Majorana label @p labels[p] (label 2N is the discarded string).
+     * @return the total Pauli weight.
+     */
+    uint64_t reset(const std::vector<int> &labels);
+
+    /** Weight if the labels at positions @p i and @p j were swapped. */
+    uint64_t proposeSwap(uint32_t i, uint32_t j);
+
+    /** Commit the swap from the immediately preceding proposeSwap(). */
+    void acceptSwap();
+
+    /** Current committed total weight. */
+    uint64_t total() const;
+
+  private:
+    struct Impl;
+    Impl *impl_;
+};
 
 /** Result of a mapping search. */
 struct SearchResult

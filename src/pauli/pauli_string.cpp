@@ -1,7 +1,9 @@
 #include "pauli/pauli_string.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/linalg.hpp"
@@ -63,10 +65,85 @@ pauliOpProduct(PauliOp a, PauliOp b)
 }
 
 PauliString::PauliString(uint32_t num_qubits)
-    : num_qubits_(num_qubits),
-      x_(wordCount(num_qubits), 0),
-      z_(wordCount(num_qubits), 0)
+    : num_qubits_(num_qubits), words_(wordCount(num_qubits))
 {
+    if (inlineStorage()) {
+        inline_[0] = 0;
+        inline_[1] = 0;
+    } else {
+        heap_ = new uint64_t[2 * size_t{words_}]();
+    }
+}
+
+PauliString::PauliString(const PauliString &other)
+    : num_qubits_(other.num_qubits_), words_(other.words_)
+{
+    if (inlineStorage()) {
+        inline_[0] = other.inline_[0];
+        inline_[1] = other.inline_[1];
+    } else {
+        heap_ = new uint64_t[2 * size_t{words_}];
+        std::memcpy(heap_, other.heap_, 2 * size_t{words_} * sizeof(uint64_t));
+    }
+}
+
+PauliString::PauliString(PauliString &&other) noexcept
+    : num_qubits_(other.num_qubits_), words_(other.words_)
+{
+    if (inlineStorage()) {
+        inline_[0] = other.inline_[0];
+        inline_[1] = other.inline_[1];
+    } else {
+        heap_ = other.heap_;
+        other.num_qubits_ = 0;
+        other.words_ = 0;
+        other.inline_[0] = 0;
+        other.inline_[1] = 0;
+    }
+}
+
+PauliString &
+PauliString::operator=(const PauliString &other)
+{
+    if (this == &other)
+        return *this;
+    if (!inlineStorage() && words_ == other.words_) {
+        // Same heap footprint: reuse the allocation.
+        num_qubits_ = other.num_qubits_;
+        std::memcpy(heap_, other.heap_, 2 * size_t{words_} * sizeof(uint64_t));
+        return *this;
+    }
+    PauliString tmp(other);
+    *this = std::move(tmp);
+    return *this;
+}
+
+PauliString &
+PauliString::operator=(PauliString &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    if (!inlineStorage())
+        delete[] heap_;
+    num_qubits_ = other.num_qubits_;
+    words_ = other.words_;
+    if (inlineStorage()) {
+        inline_[0] = other.inline_[0];
+        inline_[1] = other.inline_[1];
+    } else {
+        heap_ = other.heap_;
+        other.num_qubits_ = 0;
+        other.words_ = 0;
+        other.inline_[0] = 0;
+        other.inline_[1] = 0;
+    }
+    return *this;
+}
+
+PauliString::~PauliString()
+{
+    if (!inlineStorage())
+        delete[] heap_;
 }
 
 PauliString
@@ -103,8 +180,8 @@ PauliString::op(uint32_t qubit) const
     assert(qubit < num_qubits_);
     uint32_t w = qubit / kWordBits;
     uint64_t mask = 1ULL << (qubit % kWordBits);
-    bool x = x_[w] & mask;
-    bool z = z_[w] & mask;
+    bool x = xData()[w] & mask;
+    bool z = zData()[w] & mask;
     if (x && z)
         return PauliOp::Y;
     if (x)
@@ -120,28 +197,34 @@ PauliString::setOp(uint32_t qubit, PauliOp op)
     assert(qubit < num_qubits_);
     uint32_t w = qubit / kWordBits;
     uint64_t mask = 1ULL << (qubit % kWordBits);
-    x_[w] &= ~mask;
-    z_[w] &= ~mask;
+    uint64_t *x = xData();
+    uint64_t *z = zData();
+    x[w] &= ~mask;
+    z[w] &= ~mask;
     if (op == PauliOp::X || op == PauliOp::Y)
-        x_[w] |= mask;
+        x[w] |= mask;
     if (op == PauliOp::Z || op == PauliOp::Y)
-        z_[w] |= mask;
+        z[w] |= mask;
 }
 
 uint32_t
 PauliString::weight() const
 {
+    const uint64_t *x = xData();
+    const uint64_t *z = zData();
     uint32_t c = 0;
-    for (size_t w = 0; w < x_.size(); ++w)
-        c += std::popcount(x_[w] | z_[w]);
+    for (uint32_t w = 0; w < words_; ++w)
+        c += std::popcount(x[w] | z[w]);
     return c;
 }
 
 bool
 PauliString::isIdentity() const
 {
-    for (size_t w = 0; w < x_.size(); ++w)
-        if (x_[w] | z_[w])
+    const uint64_t *x = xData();
+    const uint64_t *z = zData();
+    for (uint32_t w = 0; w < words_; ++w)
+        if (x[w] | z[w])
             return false;
     return true;
 }
@@ -150,10 +233,14 @@ bool
 PauliString::commutesWith(const PauliString &other) const
 {
     assert(num_qubits_ == other.num_qubits_);
+    const uint64_t *x = xData();
+    const uint64_t *z = zData();
+    const uint64_t *ox = other.xData();
+    const uint64_t *oz = other.zData();
     int acc = 0;
-    for (size_t w = 0; w < x_.size(); ++w) {
-        acc += std::popcount(x_[w] & other.z_[w]);
-        acc += std::popcount(z_[w] & other.x_[w]);
+    for (uint32_t w = 0; w < words_; ++w) {
+        acc += std::popcount(x[w] & oz[w]);
+        acc += std::popcount(z[w] & ox[w]);
     }
     return (acc & 1) == 0;
 }
@@ -164,17 +251,21 @@ PauliString::multiplyRight(const PauliString &rhs)
     assert(num_qubits_ == rhs.num_qubits_);
     // phase = y(a) + y(b) - y(c) + 2*|za & xb|  (mod 4), accumulated
     // across qubits via popcounts of the Y masks.
+    uint64_t *x = xData();
+    uint64_t *z = zData();
+    const uint64_t *rx = rhs.xData();
+    const uint64_t *rz = rhs.zData();
     int phase = 0;
-    for (size_t w = 0; w < x_.size(); ++w) {
-        uint64_t ya = x_[w] & z_[w];
-        uint64_t yb = rhs.x_[w] & rhs.z_[w];
-        uint64_t xc = x_[w] ^ rhs.x_[w];
-        uint64_t zc = z_[w] ^ rhs.z_[w];
+    for (uint32_t w = 0; w < words_; ++w) {
+        uint64_t ya = x[w] & z[w];
+        uint64_t yb = rx[w] & rz[w];
+        uint64_t xc = x[w] ^ rx[w];
+        uint64_t zc = z[w] ^ rz[w];
         uint64_t yc = xc & zc;
         phase += std::popcount(ya) + std::popcount(yb) - std::popcount(yc);
-        phase += 2 * std::popcount(z_[w] & rhs.x_[w]);
-        x_[w] = xc;
-        z_[w] = zc;
+        phase += 2 * std::popcount(z[w] & rx[w]);
+        x[w] = xc;
+        z[w] = zc;
     }
     return ((phase % 4) + 4) % 4;
 }
@@ -191,17 +282,20 @@ std::pair<std::vector<uint64_t>, int>
 PauliString::applyToZeros() const
 {
     // Per qubit: X|0>=|1>, Y|0>=i|1>, Z|0>=|0>, I|0>=|0>. Net phase = i^{#Y}.
+    const uint64_t *x = xData();
+    const uint64_t *z = zData();
     int phase = 0;
-    for (size_t w = 0; w < x_.size(); ++w)
-        phase += std::popcount(x_[w] & z_[w]);
-    return {x_, ((phase % 4) + 4) % 4};
+    for (uint32_t w = 0; w < words_; ++w)
+        phase += std::popcount(x[w] & z[w]);
+    return {std::vector<uint64_t>(x, x + words_), ((phase % 4) + 4) % 4};
 }
 
 bool
 PauliString::isDiagonal() const
 {
-    for (uint64_t word : x_)
-        if (word)
+    const uint64_t *x = xData();
+    for (uint32_t w = 0; w < words_; ++w)
+        if (x[w])
             return false;
     return true;
 }
@@ -239,8 +333,8 @@ PauliString::toMatrix() const
     // P|col> = i^k |col ^ xmask> with k = #Y + 2*(number of Z/Y bits set in
     // col). Build column by column.
     ComplexMatrix m(dim, dim);
-    uint64_t xmask = x_.empty() ? 0 : x_[0];
-    uint64_t zmask = z_.empty() ? 0 : z_[0];
+    uint64_t xmask = words_ == 0 ? 0 : xData()[0];
+    uint64_t zmask = words_ == 0 ? 0 : zData()[0];
     int ny = std::popcount(xmask & zmask);
     for (size_t col = 0; col < dim; ++col) {
         // X^x Z^z |col> = (-1)^{z.col} |col ^ x>; literal adds i^{#Y}.
@@ -254,8 +348,16 @@ PauliString::toMatrix() const
 bool
 PauliString::operator==(const PauliString &other) const
 {
-    return num_qubits_ == other.num_qubits_ && x_ == other.x_ &&
-           z_ == other.z_;
+    if (num_qubits_ != other.num_qubits_)
+        return false;
+    const uint64_t *x = xData();
+    const uint64_t *z = zData();
+    const uint64_t *ox = other.xData();
+    const uint64_t *oz = other.zData();
+    for (uint32_t w = 0; w < words_; ++w)
+        if (x[w] != ox[w] || z[w] != oz[w])
+            return false;
+    return true;
 }
 
 bool
@@ -263,13 +365,17 @@ PauliString::operator<(const PauliString &other) const
 {
     if (num_qubits_ != other.num_qubits_)
         return num_qubits_ < other.num_qubits_;
+    const uint64_t *x = xData();
+    const uint64_t *z = zData();
+    const uint64_t *ox = other.xData();
+    const uint64_t *oz = other.zData();
     // Compare from the highest word down so ordering matches the string
     // form's lexicographic order reasonably closely.
-    for (size_t w = x_.size(); w-- > 0;) {
-        if (x_[w] != other.x_[w])
-            return x_[w] < other.x_[w];
-        if (z_[w] != other.z_[w])
-            return z_[w] < other.z_[w];
+    for (uint32_t w = words_; w-- > 0;) {
+        if (x[w] != ox[w])
+            return x[w] < ox[w];
+        if (z[w] != oz[w])
+            return z[w] < oz[w];
     }
     return false;
 }
@@ -282,10 +388,12 @@ PauliString::hashValue() const
         h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
         h *= 0xff51afd7ed558ccdULL;
     };
-    for (uint64_t w : x_)
-        mix(w);
-    for (uint64_t w : z_)
-        mix(w);
+    const uint64_t *x = xData();
+    const uint64_t *z = zData();
+    for (uint32_t w = 0; w < words_; ++w)
+        mix(x[w]);
+    for (uint32_t w = 0; w < words_; ++w)
+        mix(z[w]);
     return static_cast<size_t>(h);
 }
 

@@ -24,6 +24,28 @@ namespace hatt {
 
 class ComplexMatrix;
 
+/**
+ * Lightweight read-only view of a packed word array (x or z component).
+ * Mirrors the slice of std::vector's interface the call sites use, so the
+ * small-buffer storage below stays an implementation detail.
+ */
+class WordSpan
+{
+  public:
+    WordSpan() = default;
+    WordSpan(const uint64_t *data, size_t size) : data_(data), size_(size) {}
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    uint64_t operator[](size_t i) const { return data_[i]; }
+    const uint64_t *begin() const { return data_; }
+    const uint64_t *end() const { return data_ + size_; }
+
+  private:
+    const uint64_t *data_ = nullptr;
+    size_t size_ = 0;
+};
+
 /** Single-qubit Pauli operator label. */
 enum class PauliOp : uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
 
@@ -46,6 +68,12 @@ class PauliString
 
     /** All-identity string over @p num_qubits qubits. */
     explicit PauliString(uint32_t num_qubits);
+
+    PauliString(const PauliString &other);
+    PauliString(PauliString &&other) noexcept;
+    PauliString &operator=(const PauliString &other);
+    PauliString &operator=(PauliString &&other) noexcept;
+    ~PauliString();
 
     /**
      * Parse the N-length string form, leftmost char = qubit N-1.
@@ -111,13 +139,42 @@ class PauliString
     /** Hash over the packed words (for PauliSum compression). */
     size_t hashValue() const;
 
-    const std::vector<uint64_t> &xWords() const { return x_; }
-    const std::vector<uint64_t> &zWords() const { return z_; }
+    WordSpan xWords() const { return {xData(), words_}; }
+    WordSpan zWords() const { return {zData(), words_}; }
 
   private:
+    /**
+     * Small-buffer storage: strings of <= 64 qubits (one word per
+     * component — the overwhelmingly common case downstream) keep both
+     * components inline with zero heap traffic; wider strings use a
+     * single allocation of 2*words (x at [0, words), z at [words, 2*words))
+     * instead of the seed's two heap vectors per string.
+     */
+    static constexpr uint32_t kInlineWords = 1;
+
+    bool inlineStorage() const { return words_ <= kInlineWords; }
+    uint64_t *xData() { return inlineStorage() ? inline_ : heap_; }
+    uint64_t *zData()
+    {
+        return inlineStorage() ? inline_ + kInlineWords : heap_ + words_;
+    }
+    const uint64_t *
+    xData() const
+    {
+        return inlineStorage() ? inline_ : heap_;
+    }
+    const uint64_t *
+    zData() const
+    {
+        return inlineStorage() ? inline_ + kInlineWords : heap_ + words_;
+    }
+
     uint32_t num_qubits_ = 0;
-    std::vector<uint64_t> x_;
-    std::vector<uint64_t> z_;
+    uint32_t words_ = 0; //!< words per component
+    union {
+        uint64_t inline_[2 * kInlineWords] = {0, 0};
+        uint64_t *heap_; //!< active when words_ > kInlineWords
+    };
 };
 
 /** Hash functor so PauliString can key unordered containers. */
