@@ -167,6 +167,38 @@ buildMapping(const std::string &kind, const MajoranaPolynomial &poly)
     throw std::invalid_argument("buildMapping: unknown kind " + kind);
 }
 
+/** Stable BENCH record name component: spaces become underscores. */
+inline std::string
+recordName(std::string label)
+{
+    for (char &c : label)
+        if (c == ' ')
+            c = '_';
+    return label;
+}
+
+/**
+ * Build one (case, mapping) cell and log a BENCH record named
+ * "<case>/<kind>" with the wall-clock of mapping construction +
+ * Hamiltonian mapping (+ circuit compilation when enabled) and the
+ * achieved Pauli weight. Keep the names stable across PRs — the CI
+ * trajectory check (scripts/check_perf_trajectory.py) joins on them.
+ */
+inline CellMetrics
+timedCell(JsonReporter &rep, const std::string &case_label,
+          const std::string &kind, const MajoranaPolynomial &poly,
+          ScheduleKind sched = ScheduleKind::Lexicographic,
+          bool compile_circuit = true)
+{
+    Timer timer;
+    FermionQubitMapping map = buildMapping(kind, poly);
+    CellMetrics m = compileMetrics(poly, map, sched, compile_circuit);
+    m.buildSeconds = timer.seconds();
+    rep.add(recordName(case_label) + "/" + kind, m.buildSeconds,
+            m.pauliWeight);
+    return m;
+}
+
 /**
  * Fermihedral stand-in: exact tree search at tiny sizes, stochastic
  * search up to @p max_stochastic_modes, otherwise absent (like FH

@@ -42,6 +42,7 @@ main(int argc, char **argv)
     std::cout << "=== Table I: electronic structure models ===\n";
     TablePrinter table({"Molecule", "Modes", "Metric", "JW", "BK", "BTT",
                         "FH*", "HATT"});
+    JsonReporter json("table1_electronic");
 
     for (const auto &c : cases) {
         MolecularProblem prob = buildMolecule(c.spec);
@@ -51,12 +52,12 @@ main(int argc, char **argv)
         std::vector<std::string> kinds = {"JW", "BK", "BTT"};
         std::vector<CellMetrics> cells;
         for (const auto &k : kinds)
-            cells.push_back(compileMetrics(poly, buildMapping(k, poly)));
+            cells.push_back(timedCell(json, c.label, k, poly));
 
         std::optional<CellMetrics> fh;
         if (auto fh_map = buildFhStar(poly))
             fh = compileMetrics(poly, *fh_map);
-        cells.push_back(compileMetrics(poly, buildMapping("HATT", poly)));
+        cells.push_back(timedCell(json, c.label, "HATT", poly));
 
         auto row = [&](const char *metric, auto get) {
             std::vector<std::string> r = {
@@ -77,5 +78,6 @@ main(int argc, char **argv)
         row("Depth", [](const CellMetrics &m) { return m.depth; });
     }
     table.print(std::cout);
+    std::cout << "wrote " << json.write() << "\n";
     return 0;
 }

@@ -20,6 +20,7 @@ main()
     std::cout << "=== Table II: Fermi-Hubbard model (t=1, U=4) ===\n";
     TablePrinter table({"Geometry", "Modes", "Metric", "JW", "BK", "BTT",
                         "FH*", "HATT"});
+    JsonReporter json("table2_hubbard");
 
     for (auto [r, cgeo] : geoms) {
         HubbardParams params;
@@ -28,16 +29,15 @@ main()
         MajoranaPolynomial poly =
             MajoranaPolynomial::fromFermion(hubbardModel(params));
 
+        std::string label =
+            std::to_string(r) + "x" + std::to_string(cgeo);
         std::vector<CellMetrics> cells;
         for (const char *k : {"JW", "BK", "BTT"})
-            cells.push_back(compileMetrics(poly, buildMapping(k, poly)));
+            cells.push_back(timedCell(json, label, k, poly));
         std::optional<CellMetrics> fh;
         if (auto fh_map = buildFhStar(poly))
             fh = compileMetrics(poly, *fh_map);
-        cells.push_back(compileMetrics(poly, buildMapping("HATT", poly)));
-
-        std::string label =
-            std::to_string(r) + "x" + std::to_string(cgeo);
+        cells.push_back(timedCell(json, label, "HATT", poly));
         auto row = [&](const char *metric, auto get) {
             std::vector<std::string> out = {
                 label, std::to_string(poly.numModes()), metric};
@@ -57,5 +57,6 @@ main()
         row("Depth", [](const CellMetrics &m) { return m.depth; });
     }
     table.print(std::cout);
+    std::cout << "wrote " << json.write() << "\n";
     return 0;
 }

@@ -21,6 +21,7 @@ main()
     std::cout << "=== Table III: collective neutrino oscillation ===\n";
     TablePrinter table({"Case", "Modes", "Metric", "JW", "BK", "BTT",
                         "HATT"});
+    JsonReporter json("table3_neutrino");
 
     for (auto [p, f] : cases) {
         NeutrinoParams params;
@@ -29,12 +30,11 @@ main()
         MajoranaPolynomial poly =
             MajoranaPolynomial::fromFermion(neutrinoModel(params));
 
-        std::vector<CellMetrics> cells;
-        for (const char *k : {"JW", "BK", "BTT", "HATT"})
-            cells.push_back(compileMetrics(poly, buildMapping(k, poly)));
-
         std::string label =
             std::to_string(p) + "x" + std::to_string(f) + "F";
+        std::vector<CellMetrics> cells;
+        for (const char *k : {"JW", "BK", "BTT", "HATT"})
+            cells.push_back(timedCell(json, label, k, poly));
         auto row = [&](const char *metric, auto get) {
             std::vector<std::string> out = {
                 label, std::to_string(poly.numModes()), metric};
@@ -49,5 +49,6 @@ main()
         row("Depth", [](const CellMetrics &m) { return m.depth; });
     }
     table.print(std::cout);
+    std::cout << "wrote " << json.write() << "\n";
     return 0;
 }

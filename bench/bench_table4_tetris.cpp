@@ -51,6 +51,7 @@ main()
     };
 
     std::cout << "=== Table IV: Tetris-lite on device topologies ===\n";
+    JsonReporter json("table4_tetris");
     const CouplingMap devices[] = {CouplingMap::ibmManhattan(),
                                    CouplingMap::sycamore(),
                                    CouplingMap::ibmMontreal()};
@@ -68,10 +69,19 @@ main()
             if (poly.numModes() > device.numQubits())
                 continue;
 
-            GateCounts jw =
-                routeAndCount(poly, buildMapping("JW", poly), device);
-            GateCounts hatt =
-                routeAndCount(poly, buildMapping("HATT", poly), device);
+            // Route through the full pipeline, logging wall-clock per
+            // (device, case, mapping) — routing is the dominant cost.
+            auto timed = [&](const char *kind) {
+                Timer timer;
+                GateCounts counts =
+                    routeAndCount(poly, buildMapping(kind, poly), device);
+                json.add(recordName(device.name()) + "/" +
+                             recordName(c.label) + "/" + kind,
+                         timer.seconds());
+                return counts;
+            };
+            GateCounts jw = timed("JW");
+            GateCounts hatt = timed("HATT");
             table.addRow(
                 {c.label, std::to_string(poly.numModes()),
                  TablePrinter::num(static_cast<long long>(jw.cnot)),
@@ -83,5 +93,6 @@ main()
         }
         table.print(std::cout);
     }
+    std::cout << "wrote " << json.write() << "\n";
     return 0;
 }

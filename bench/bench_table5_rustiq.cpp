@@ -39,16 +39,17 @@ main()
     TablePrinter table({"Case", "Modes", "CNOT(JW)", "CNOT(HATT)",
                         "U3(JW)", "U3(HATT)", "Depth(JW)",
                         "Depth(HATT)"});
+    JsonReporter json("table5_rustiq");
 
     for (const auto &c : cases) {
         MolecularProblem prob = buildMolecule(c.spec);
         MajoranaPolynomial poly =
             MajoranaPolynomial::fromFermion(prob.hamiltonian);
 
-        CellMetrics jw = compileMetrics(poly, buildMapping("JW", poly),
-                                        ScheduleKind::GreedyOverlap);
-        CellMetrics hatt = compileMetrics(
-            poly, buildMapping("HATT", poly), ScheduleKind::GreedyOverlap);
+        CellMetrics jw = timedCell(json, c.label, "JW", poly,
+                                   ScheduleKind::GreedyOverlap);
+        CellMetrics hatt = timedCell(json, c.label, "HATT", poly,
+                                     ScheduleKind::GreedyOverlap);
         table.addRow(
             {c.label, std::to_string(poly.numModes()),
              TablePrinter::num(static_cast<long long>(jw.cnot)),
@@ -59,5 +60,6 @@ main()
              TablePrinter::num(static_cast<long long>(hatt.depth))});
     }
     table.print(std::cout);
+    std::cout << "wrote " << json.write() << "\n";
     return 0;
 }

@@ -19,15 +19,15 @@ main()
     std::cout << "=== Table VI: HATT (unopt) vs HATT Pauli weight ===\n";
     TablePrinter table(
         {"Case", "Modes", "HATT(unopt)", "HATT", "Diff%"});
+    JsonReporter json("table6_unopt");
 
     auto run = [&](const std::string &label,
                    const MajoranaPolynomial &poly) {
-        CellMetrics unopt = compileMetrics(
-            poly, buildMapping("HATT-unopt", poly),
-            ScheduleKind::Lexicographic, false);
-        CellMetrics opt =
-            compileMetrics(poly, buildMapping("HATT", poly),
-                           ScheduleKind::Lexicographic, false);
+        CellMetrics unopt =
+            timedCell(json, label, "HATT-unopt", poly,
+                      ScheduleKind::Lexicographic, false);
+        CellMetrics opt = timedCell(json, label, "HATT", poly,
+                                    ScheduleKind::Lexicographic, false);
         double diff = unopt.pauliWeight == 0
                           ? 0.0
                           : 100.0 *
@@ -77,5 +77,6 @@ main()
     }
 
     table.print(std::cout);
+    std::cout << "wrote " << json.write() << "\n";
     return 0;
 }

@@ -1,14 +1,18 @@
 /**
  * @file
- * Quickstart: build a small fermionic Hamiltonian, compile a HATT
- * mapping for it, compare the qubit-Hamiltonian Pauli weight against
- * Jordan-Wigner, and synthesize the Trotter circuit.
+ * Quickstart: load a small fermionic Hamiltonian from a file, compile a
+ * HATT mapping for it, compare the qubit-Hamiltonian Pauli weight
+ * against Jordan-Wigner, and synthesize the Trotter circuit.
  *
  * This is the 60-second tour of the public API:
- *   FermionHamiltonian -> MajoranaPolynomial -> buildHattMapping
- *   -> mapToQubits -> evolutionCircuit.
+ *   .ops file -> FermionHamiltonian -> MajoranaPolynomial
+ *   -> buildHattMapping -> mapToQubits -> evolutionCircuit.
+ *
+ * Usage: example_quickstart [hamiltonian.ops]
+ * (defaults to the paper's running example, examples/data/eq3.ops).
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "circuit/optimize.hpp"
@@ -16,19 +20,44 @@
 #include "circuit/schedule.hpp"
 #include "fermion/majorana.hpp"
 #include "ham/qubit_hamiltonian.hpp"
+#include "io/fermion_text.hpp"
 #include "mapping/hatt.hpp"
 #include "mapping/jordan_wigner.hpp"
 #include "mapping/verify.hpp"
 
+namespace {
+
+/** Find eq3.ops whether run from the repo root or from build/. */
+std::string
+defaultInputPath()
+{
+    for (const char *p :
+         {"examples/data/eq3.ops", "../examples/data/eq3.ops"}) {
+        if (std::ifstream(p).good())
+            return p;
+    }
+    return "examples/data/eq3.ops"; // let the loader report the error
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hatt;
 
-    // The paper's running example (Eq. 3): H = a†0 a0 + 2 a†1 a†2 a1 a2.
-    FermionHamiltonian hf(3);
-    hf.add(1.0, {create(0), annihilate(0)});
-    hf.add(2.0, {create(1), create(2), annihilate(1), annihilate(2)});
+    // The paper's running example (Eq. 3): H = a†0 a0 + 2 a†1 a†2 a1 a2,
+    // loaded from the OpenFermion-style text format instead of being
+    // hard-coded (see io/fermion_text.hpp for the format).
+    const std::string path = argc > 1 ? argv[1] : defaultInputPath();
+    FermionHamiltonian hf;
+    try {
+        hf = io::loadFermionTextFile(path);
+    } catch (const io::ParseError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+    std::cout << "Loaded " << path << "\n";
     std::cout << "Fermionic Hamiltonian: " << hf.toString() << "\n";
 
     // Preprocess into Majorana monomials.
@@ -48,7 +77,7 @@ main()
 
     // Compare qubit-Hamiltonian Pauli weight against Jordan-Wigner.
     PauliSum via_hatt = mapToQubits(poly, hatt.mapping);
-    PauliSum via_jw = mapToQubits(poly, jordanWignerMapping(3));
+    PauliSum via_jw = mapToQubits(poly, jordanWignerMapping(hf.numModes()));
     std::cout << "Pauli weight: HATT = " << via_hatt.pauliWeight()
               << ", JW = " << via_jw.pauliWeight() << "\n";
 

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare freshly emitted BENCH_*.json files against committed baselines.
+
+Usage:
+    check_perf_trajectory.py [--baseline-dir bench/baselines]
+                             [--ratio 5.0] [--floor 0.1]
+                             BENCH_a.json [BENCH_b.json ...]
+
+For every fresh file with a committed baseline of the same name, records
+are joined on their stable "name" field (see bench/README.md):
+
+  * pauli_weight and candidates are determinism witnesses — any change
+    at equal name is a FAILURE (the algorithms must be bit-stable);
+  * seconds is the perf trajectory — a record fails when it is both
+    slower than ratio * baseline AND above the absolute floor (the floor
+    absorbs scheduler noise on sub-100ms records);
+  * a baseline record missing from the fresh run is a FAILURE (record
+    names are a stable contract); new records are reported, not failed.
+
+Exit code: 0 clean, 1 regression/violation, 2 usage or unreadable file.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        doc = json.load(f)
+    records = {}
+    for rec in doc.get("records", []):
+        name = rec.get("name")
+        if name is None:
+            raise ValueError(f"{path}: record without a name")
+        if name in records:
+            raise ValueError(f"{path}: duplicate record name {name!r}")
+        records[name] = rec
+    return records
+
+
+def compare(fresh_path, base_path, ratio, floor):
+    """Return (failures, notes) comparing one fresh file to its baseline."""
+    failures, notes = [], []
+    fresh = load_records(fresh_path)
+    base = load_records(base_path)
+
+    for name, brec in base.items():
+        frec = fresh.get(name)
+        if frec is None:
+            failures.append(f"{fresh_path}: record {name!r} disappeared "
+                            "(names are a stable contract)")
+            continue
+        for field in ("pauli_weight", "candidates"):
+            if brec.get(field) != frec.get(field):
+                failures.append(
+                    f"{fresh_path}: {name}: {field} changed "
+                    f"{brec.get(field)} -> {frec.get(field)} "
+                    "(determinism violation)")
+        bs, fs = brec.get("seconds"), frec.get("seconds")
+        if isinstance(bs, (int, float)) and isinstance(fs, (int, float)):
+            if fs > ratio * bs and fs > floor:
+                failures.append(
+                    f"{fresh_path}: {name}: seconds regressed "
+                    f"{bs:.6f} -> {fs:.6f} (> {ratio:.1f}x and > "
+                    f"{floor:.2f}s floor)")
+
+    for name in fresh:
+        if name not in base:
+            notes.append(f"{fresh_path}: new record {name!r} "
+                         "(add it to the baseline)")
+    return failures, notes
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", nargs="+", help="freshly emitted BENCH_*.json")
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--ratio", type=float, default=5.0,
+                    help="max allowed seconds slowdown factor")
+    ap.add_argument("--floor", type=float, default=0.1,
+                    help="seconds below which slowdowns are ignored")
+    args = ap.parse_args()
+
+    any_failure = False
+    compared = 0
+    for fresh_path in args.fresh:
+        base_path = os.path.join(args.baseline_dir,
+                                 os.path.basename(fresh_path))
+        if not os.path.exists(fresh_path):
+            print(f"ERROR: missing fresh file {fresh_path}")
+            return 2
+        if not os.path.exists(base_path):
+            print(f"note: no baseline for {fresh_path} "
+                  f"(expected {base_path}); skipping")
+            continue
+        try:
+            failures, notes = compare(fresh_path, base_path, args.ratio,
+                                      args.floor)
+        except (ValueError, json.JSONDecodeError) as e:
+            print(f"ERROR: {e}")
+            return 2
+        compared += 1
+        for n in notes:
+            print(f"note: {n}")
+        for f in failures:
+            print(f"FAIL: {f}")
+            any_failure = True
+
+    if any_failure:
+        print("perf trajectory check FAILED")
+        return 1
+    print(f"perf trajectory check passed ({compared} file(s) compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+#include "io/cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+#include "io/serialize.hpp"
+
+namespace hatt::io {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kCacheVersion = 1;
+
+} // namespace
+
+MappingCache::MappingCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+MappingCache::entryPath(uint64_t content_hash,
+                        const std::string &kind) const
+{
+    return (fs::path(dir_) / (hashToHex(content_hash) + "-" + kind +
+                              ".json"))
+        .string();
+}
+
+std::optional<CachedMapping>
+MappingCache::lookup(uint64_t content_hash, const std::string &kind) const
+{
+    const std::string path = entryPath(content_hash, kind);
+    std::error_code ec;
+    if (!fs::exists(path, ec))
+        return std::nullopt;
+
+    JsonValue doc = loadJsonFile(path);
+    checkEnvelope(doc, "hatt-cache", kCacheVersion);
+    if (doc.at("content_hash").asString() != hashToHex(content_hash) ||
+        doc.at("kind").asString() != kind)
+        throw ParseError(path + ": cache entry key mismatch");
+
+    CachedMapping hit;
+    hit.mapping = mappingFromJson(doc.at("mapping"));
+    if (const JsonValue *tree = doc.find("tree"))
+        hit.tree = treeFromJson(*tree);
+    if (const JsonValue *cand = doc.find("candidates"))
+        if (cand->isNumber())
+            hit.candidates = static_cast<uint64_t>(
+                cand->asInt(0, INT64_MAX));
+    return hit;
+}
+
+void
+MappingCache::store(uint64_t content_hash, const std::string &kind,
+                    const FermionQubitMapping &mapping,
+                    const TernaryTree *tree,
+                    std::optional<uint64_t> candidates)
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        throw ParseError("cannot create cache directory " + dir_ + ": " +
+                         ec.message());
+
+    JsonValue doc = JsonValue::object();
+    doc.add("format", "hatt-cache");
+    doc.add("version", kCacheVersion);
+    doc.add("content_hash", hashToHex(content_hash));
+    doc.add("kind", kind);
+    doc.add("mapping", mappingToJson(mapping));
+    if (tree)
+        doc.add("tree", treeToJson(*tree));
+    if (candidates)
+        doc.add("candidates", *candidates);
+
+    // Atomic publish: write a writer-unique temp file in the same
+    // directory, then rename over the entry — concurrent writers of the
+    // same key each publish a complete file, last rename wins.
+    static std::atomic<uint64_t> counter{0};
+    const std::string path = entryPath(content_hash, kind);
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+                            "." + std::to_string(counter.fetch_add(1));
+    saveJsonFile(tmp, doc);
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        throw ParseError("cannot publish cache entry " + path);
+    }
+}
+
+} // namespace hatt::io

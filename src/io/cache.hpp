@@ -1,0 +1,65 @@
+#ifndef HATT_IO_CACHE_HPP
+#define HATT_IO_CACHE_HPP
+
+/**
+ * @file
+ * Content-addressed mapping cache: optimized mappings (and their trees)
+ * are stored under <dir>/<content-hash>-<kind>.json, keyed by the
+ * splitmix64 content hash of the canonical Majorana form plus the
+ * mapping kind string. `hattc` consults it to skip re-optimizing a
+ * Hamiltonian it has already seen; batch/service callers can share one
+ * directory across processes (files are written atomically via rename).
+ */
+
+#include <optional>
+#include <string>
+
+#include "fermion/majorana.hpp"
+#include "mapping/mapping.hpp"
+#include "tree/ternary_tree.hpp"
+
+namespace hatt::io {
+
+/** A cache hit: the stored mapping and, for tree mappings, its tree. */
+struct CachedMapping
+{
+    FermionQubitMapping mapping;
+    std::optional<TernaryTree> tree;
+    /** Construction candidates (HATT kinds), so cache hits report the
+        same determinism witness as the original build. */
+    std::optional<uint64_t> candidates;
+};
+
+class MappingCache
+{
+  public:
+    /** Creates @p dir (and parents) on first store if missing. */
+    explicit MappingCache(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Cache file path for (hash, kind). */
+    std::string entryPath(uint64_t content_hash,
+                          const std::string &kind) const;
+
+    /**
+     * Look up (hash, kind); returns nullopt when absent. A present but
+     * corrupt entry throws ParseError (callers may fall back to
+     * recomputing, but silent misses would mask real corruption).
+     */
+    std::optional<CachedMapping> lookup(uint64_t content_hash,
+                                        const std::string &kind) const;
+
+    /** Store (hash, kind) -> mapping [+ tree]; overwrites atomically. */
+    void store(uint64_t content_hash, const std::string &kind,
+               const FermionQubitMapping &mapping,
+               const TernaryTree *tree = nullptr,
+               std::optional<uint64_t> candidates = std::nullopt);
+
+  private:
+    std::string dir_;
+};
+
+} // namespace hatt::io
+
+#endif // HATT_IO_CACHE_HPP

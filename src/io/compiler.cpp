@@ -1,0 +1,405 @@
+#include "io/compiler.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <ostream>
+
+#include "common/timer.hpp"
+#include "ham/qubit_hamiltonian.hpp"
+#include "io/cache.hpp"
+#include "io/fcidump.hpp"
+#include "io/fermion_text.hpp"
+#include "io/serialize.hpp"
+#include "io/stream.hpp"
+#include "mapping/balanced_tree.hpp"
+#include "mapping/bravyi_kitaev.hpp"
+#include "mapping/hatt.hpp"
+#include "mapping/jordan_wigner.hpp"
+#include "mapping/verify.hpp"
+
+namespace hatt::io {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const char *kUsage =
+    "usage: hattc <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  map     <input>         build a fermion-to-qubit mapping\n"
+    "  compile <input>         map + qubit Hamiltonian + metrics\n"
+    "  stats   <input>         parse/preprocess summary + content hash\n"
+    "  verify  <mapping.json>  check mapping validity + vacuum\n"
+    "\n"
+    "options (map/compile/stats):\n"
+    "  --mapping KIND   hatt | hatt-unopt | jw | bk | btt  [hatt]\n"
+    "  --format FMT     auto | ops | fcidump               [auto]\n"
+    "  -o, --out DIR    output directory                   [out]\n"
+    "  --cache DIR      content-addressed mapping cache\n"
+    "\n"
+    "options (verify):\n"
+    "  --require-vacuum fail (exit 1) unless the mapping also\n"
+    "                   preserves the vacuum state\n";
+
+struct Options
+{
+    std::string command;
+    std::string input;
+    std::string mapping = "hatt";
+    std::string outDir = "out";
+    std::string cacheDir; //!< empty = no cache
+    InputFormat format = InputFormat::Auto;
+    bool requireVacuum = false;
+};
+
+/** Thrown for bad command lines; maps to exit code 2 with usage text. */
+struct UsageError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+Options
+parseArgs(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        throw UsageError("missing command");
+    Options opt;
+    opt.command = args[0];
+    if (opt.command != "map" && opt.command != "compile" &&
+        opt.command != "stats" && opt.command != "verify")
+        throw UsageError("unknown command '" + opt.command + "'");
+
+    auto value = [&](size_t &i) -> const std::string & {
+        if (i + 1 >= args.size())
+            throw UsageError("option " + args[i] + " needs a value");
+        return args[++i];
+    };
+    for (size_t i = 1; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--mapping") {
+            opt.mapping = value(i);
+        } else if (a == "--format") {
+            const std::string &f = value(i);
+            if (f == "auto")
+                opt.format = InputFormat::Auto;
+            else if (f == "ops")
+                opt.format = InputFormat::Ops;
+            else if (f == "fcidump")
+                opt.format = InputFormat::Fcidump;
+            else
+                throw UsageError("unknown format '" + f + "'");
+        } else if (a == "-o" || a == "--out") {
+            opt.outDir = value(i);
+        } else if (a == "--cache") {
+            opt.cacheDir = value(i);
+        } else if (a == "--require-vacuum") {
+            if (opt.command != "verify")
+                throw UsageError("--require-vacuum only applies to "
+                                 "verify");
+            opt.requireVacuum = true;
+        } else if (!a.empty() && a[0] == '-') {
+            throw UsageError("unknown option '" + a + "'");
+        } else if (opt.input.empty()) {
+            opt.input = a;
+        } else {
+            throw UsageError("unexpected argument '" + a + "'");
+        }
+    }
+    if (opt.input.empty())
+        throw UsageError(opt.command + " needs an input file");
+
+    bool known = false;
+    for (const std::string &k : hattcMappingKinds())
+        known = known || k == opt.mapping;
+    if (!known)
+        throw UsageError("unknown mapping '" + opt.mapping + "'");
+    return opt;
+}
+
+InputFormat
+detectFormat(const std::string &path)
+{
+    std::string ext = fs::path(path).extension().string();
+    for (char &c : ext)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (ext == ".fcidump")
+        return InputFormat::Fcidump;
+    if (ext == ".ops")
+        return InputFormat::Ops;
+    // Sniff: FCIDUMP files open with an &FCI namelist.
+    std::ifstream in(path);
+    if (!in)
+        throw ParseError("cannot open file: " + path);
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        return line[b] == '&' ? InputFormat::Fcidump : InputFormat::Ops;
+    }
+    return InputFormat::Ops;
+}
+
+/** A built mapping plus provenance (tree, stats, cache outcome). */
+struct BuiltMapping
+{
+    FermionQubitMapping mapping;
+    std::optional<TernaryTree> tree;
+    std::optional<HattStats> stats;
+    double seconds = 0.0;
+    bool cacheHit = false;
+};
+
+BuiltMapping
+buildMappingKind(const std::string &kind, const LoadedProblem &problem,
+                 const std::string &cache_dir)
+{
+    std::optional<MappingCache> cache;
+    if (!cache_dir.empty()) {
+        cache.emplace(cache_dir);
+        if (auto hit = cache->lookup(problem.contentHash, kind)) {
+            BuiltMapping out;
+            out.mapping = std::move(hit->mapping);
+            out.tree = std::move(hit->tree);
+            if (hit->candidates) {
+                out.stats.emplace();
+                out.stats->candidatesEvaluated = *hit->candidates;
+            }
+            out.cacheHit = true;
+            return out;
+        }
+    }
+
+    BuiltMapping out;
+    Timer timer;
+    const uint32_t n = problem.numModes;
+    if (kind == "jw") {
+        out.mapping = jordanWignerMapping(n);
+    } else if (kind == "bk") {
+        out.mapping = bravyiKitaevMapping(n);
+    } else if (kind == "btt") {
+        out.mapping = balancedTernaryTreeMapping(n);
+    } else {
+        HattOptions hopt;
+        hopt.vacuumPairing = kind != "hatt-unopt";
+        hopt.descCache = hopt.vacuumPairing;
+        HattResult res = buildHattMapping(problem.poly, hopt);
+        out.mapping = std::move(res.mapping);
+        out.tree = std::move(res.tree);
+        out.stats = std::move(res.stats);
+    }
+    out.seconds = timer.seconds();
+
+    if (cache)
+        cache->store(problem.contentHash, kind, out.mapping,
+                     out.tree ? &*out.tree : nullptr,
+                     out.stats ? std::optional<uint64_t>(
+                                     out.stats->candidatesEvaluated)
+                               : std::nullopt);
+    return out;
+}
+
+/** BENCH_*.json record shape (see bench/README.md). */
+JsonValue
+metricsDocument(const std::string &name, double seconds,
+                std::optional<uint64_t> pauli_weight,
+                std::optional<uint64_t> candidates, bool cache_hit)
+{
+    JsonValue rec = JsonValue::object();
+    rec.add("name", name);
+    rec.add("seconds", seconds);
+    rec.add("pauli_weight",
+            pauli_weight ? JsonValue(*pauli_weight) : JsonValue(nullptr));
+    rec.add("candidates",
+            candidates ? JsonValue(*candidates) : JsonValue(nullptr));
+    rec.add("cache_hit", cache_hit);
+    JsonValue records = JsonValue::array();
+    records.push(std::move(rec));
+    JsonValue doc = JsonValue::object();
+    doc.add("benchmark", "hattc");
+    doc.add("records", std::move(records));
+    return doc;
+}
+
+void
+ensureOutDir(const std::string &dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        throw ParseError("cannot create output directory " + dir + ": " +
+                         ec.message());
+}
+
+int
+cmdMapOrCompile(const Options &opt, std::ostream &out)
+{
+    const bool compile = opt.command == "compile";
+    LoadedProblem problem = loadProblem(opt.input, opt.format);
+    BuiltMapping built =
+        buildMappingKind(opt.mapping, problem, opt.cacheDir);
+
+    out << "input:        " << opt.input << " (" << problem.format << ", "
+        << problem.numModes << " modes, " << problem.fermionTerms
+        << " fermionic terms, " << problem.poly.size()
+        << " majorana monomials)\n";
+    out << "content hash: " << hashToHex(problem.contentHash) << "\n";
+    out << "mapping:      " << opt.mapping << " -> "
+        << built.mapping.numQubits << " qubits"
+        << (built.cacheHit ? " [cache hit]" : "") << "\n";
+
+    ensureOutDir(opt.outDir);
+    const fs::path dir(opt.outDir);
+    const std::string stem = problem.stem;
+    saveJsonFile((dir / (stem + ".mapping.json")).string(),
+                 mappingToJson(built.mapping));
+    if (built.tree)
+        saveJsonFile((dir / (stem + ".tree.json")).string(),
+                     treeToJson(*built.tree));
+
+    std::optional<uint64_t> pauli_weight;
+    std::optional<uint64_t> candidates;
+    if (built.stats)
+        candidates = built.stats->candidatesEvaluated;
+
+    double map_seconds = 0.0;
+    if (compile) {
+        Timer timer;
+        PauliSum hq = mapToQubits(problem.poly, built.mapping);
+        map_seconds = timer.seconds();
+        HamiltonianMetrics hm = hamiltonianMetrics(hq);
+        pauli_weight = hm.pauliWeight;
+        saveJsonFile((dir / (stem + ".qubit.json")).string(),
+                     pauliSumToJson(hq));
+        out << "qubit H:      " << hm.numTerms
+            << " non-identity terms, pauli weight " << hm.pauliWeight
+            << ", max |Im coeff| " << hm.maxImagCoeff << "\n";
+    }
+
+    const double total_seconds = built.seconds + map_seconds;
+    saveJsonFile((dir / (stem + ".metrics.json")).string(),
+                 metricsDocument(stem + "/" + opt.mapping, total_seconds,
+                                 pauli_weight, candidates,
+                                 built.cacheHit));
+    out << "wrote:        " << (dir / (stem + ".*.json")).string() << " ("
+        << total_seconds << " s)\n";
+    return 0;
+}
+
+int
+cmdStats(const Options &opt, std::ostream &out)
+{
+    LoadedProblem problem = loadProblem(opt.input, opt.format);
+    uint64_t majorana_weight = 0;
+    size_t max_degree = 0;
+    for (const MajoranaTerm &t : problem.poly.terms()) {
+        majorana_weight += t.indices.size();
+        max_degree = std::max(max_degree, t.indices.size());
+    }
+    out << "input:             " << opt.input << "\n"
+        << "format:            " << problem.format << "\n"
+        << "modes:             " << problem.numModes << "\n"
+        << "fermionic terms:   " << problem.fermionTerms << "\n"
+        << "majorana monomials:" << " " << problem.poly.size() << "\n"
+        << "max degree:        " << max_degree << "\n"
+        << "total indices:     " << majorana_weight << "\n"
+        << "constant term:     " << problem.poly.constantTerm().real()
+        << "\n"
+        << "content hash:      " << hashToHex(problem.contentHash)
+        << "\n";
+    return 0;
+}
+
+int
+cmdVerify(const Options &opt, std::ostream &out)
+{
+    FermionQubitMapping map =
+        mappingFromJson(loadJsonFile(opt.input));
+    MappingCheck check = verifyMapping(map);
+    bool vacuum = check.valid && preservesVacuum(map);
+    out << "mapping:  " << map.name << " (" << map.numModes << " modes, "
+        << map.numQubits << " qubits)\n";
+    out << "valid:    " << (check.valid ? "yes" : "no") << "\n";
+    if (!check.valid)
+        out << "reason:   " << check.reason << "\n";
+    out << "vacuum:   " << (vacuum ? "preserved" : "not preserved")
+        << "\n";
+    out << "op weight: " << operatorPauliWeight(map) << " (avg "
+        << averageOperatorWeight(map) << ")\n";
+    if (!check.valid)
+        return 1;
+    // Vacuum preservation is informational by default — hatt-unopt
+    // intentionally gives it up — but gates the exit code on request.
+    return (opt.requireVacuum && !vacuum) ? 1 : 0;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+hattcMappingKinds()
+{
+    static const std::vector<std::string> kinds = {"hatt", "hatt-unopt",
+                                                   "jw", "bk", "btt"};
+    return kinds;
+}
+
+LoadedProblem
+loadProblem(const std::string &path, InputFormat format)
+{
+    if (format == InputFormat::Auto)
+        format = detectFormat(path);
+
+    LoadedProblem problem;
+    problem.stem = fs::path(path).stem().string();
+
+    StreamingMajoranaAccumulator acc;
+    if (format == InputFormat::Ops) {
+        problem.format = "ops";
+        std::ifstream in(path);
+        if (!in)
+            throw ParseError("cannot open file: " + path);
+        FermionTextInfo info =
+            streamFermionText(in, [&](FermionTerm &&term) {
+                acc.add(term);
+                return true;
+            });
+        acc.ensureModes(info.numModes);
+        problem.fermionTerms = info.numTerms;
+    } else {
+        problem.format = "fcidump";
+        FermionHamiltonian hf = loadFcidumpHamiltonian(path);
+        for (const FermionTerm &term : hf.terms())
+            acc.add(term);
+        acc.ensureModes(hf.numModes());
+        problem.fermionTerms = hf.size();
+    }
+    problem.numModes = acc.numModes();
+    problem.poly = acc.finish();
+    problem.contentHash = majoranaContentHash(problem.poly);
+    return problem;
+}
+
+int
+runHattc(const std::vector<std::string> &args, std::ostream &out,
+         std::ostream &err)
+{
+    try {
+        Options opt = parseArgs(args);
+        if (opt.command == "stats")
+            return cmdStats(opt, out);
+        if (opt.command == "verify")
+            return cmdVerify(opt, out);
+        return cmdMapOrCompile(opt, out);
+    } catch (const UsageError &e) {
+        err << "hattc: " << e.what() << "\n\n" << kUsage;
+        return 2;
+    } catch (const std::exception &e) {
+        err << "hattc: " << e.what() << "\n";
+        return 2;
+    }
+}
+
+} // namespace hatt::io

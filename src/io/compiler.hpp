@@ -1,0 +1,64 @@
+#ifndef HATT_IO_COMPILER_HPP
+#define HATT_IO_COMPILER_HPP
+
+/**
+ * @file
+ * The `hattc` compiler driver: parse a Hamiltonian file (OpenFermion-
+ * style .ops text or FCIDUMP), stream-preprocess it into Majorana form,
+ * build a fermion-to-qubit mapping (HATT or a baseline), map the
+ * Hamiltonian, and serialize every artifact. The driver lives in the
+ * library (not the CLI binary) so tests exercise the exact code path
+ * `tools/hattc` ships.
+ *
+ * Subcommands:
+ *   map     <input>   mapping (+ tree) JSON, with metrics
+ *   compile <input>   map + qubit Hamiltonian JSON + BENCH-shape metrics
+ *   stats   <input>   parse/preprocess summary + content hash
+ *   verify  <mapping.json>  validity + vacuum-preservation check
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fermion/majorana.hpp"
+
+namespace hatt::io {
+
+/** Input file format selector. */
+enum class InputFormat { Auto, Ops, Fcidump };
+
+/** A parsed + preprocessed input Hamiltonian. */
+struct LoadedProblem
+{
+    std::string stem;        //!< input file name without dir/extension
+    std::string format;      //!< "ops" | "fcidump"
+    uint32_t numModes = 0;
+    size_t fermionTerms = 0; //!< terms streamed out of the file
+    uint64_t contentHash = 0;
+    MajoranaPolynomial poly;
+};
+
+/**
+ * Parse @p path (streaming for .ops) and preprocess into Majorana form.
+ * @throws ParseError on unreadable/malformed input.
+ */
+LoadedProblem loadProblem(const std::string &path,
+                          InputFormat format = InputFormat::Auto);
+
+/**
+ * Run the driver. @p args excludes the program name (i.e. main passes
+ * {argv + 1, argv + argc}). Normal output goes to @p out, diagnostics to
+ * @p err. @return process exit code: 0 success, 1 failed check,
+ * 2 usage/input error.
+ */
+int runHattc(const std::vector<std::string> &args, std::ostream &out,
+             std::ostream &err);
+
+/** Canonical mapping kind strings accepted by --mapping. */
+const std::vector<std::string> &hattcMappingKinds();
+
+} // namespace hatt::io
+
+#endif // HATT_IO_COMPILER_HPP

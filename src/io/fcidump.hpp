@@ -1,0 +1,43 @@
+#ifndef HATT_IO_FCIDUMP_HPP
+#define HATT_IO_FCIDUMP_HPP
+
+/**
+ * @file
+ * FCIDUMP (Knowles & Handy) integral-file reader: the standard quantum
+ * chemistry interchange format emitted by PySCF/Molpro/NWChem. The
+ * namelist header (&FCI NORB=..,NELEC=..,..&END or '/') is followed by
+ * `value i j k l` lines (1-based orbital indices, chemist notation):
+ *
+ *   value i j k l   two-electron integral (ij|kl), 8-fold symmetry
+ *   value i j 0 0   one-electron integral h_ij (symmetric)
+ *   value 0 0 0 0   core (nuclear repulsion) energy
+ *
+ * The result is an MoIntegrals, so the existing chem/transform
+ * secondQuantize() path produces the fermionic Hamiltonian with the same
+ * block-spin convention as the built-in molecules.
+ */
+
+#include <istream>
+#include <string>
+
+#include "chem/scf.hpp"
+#include "fermion/fermion_op.hpp"
+
+namespace hatt::io {
+
+/** Parse FCIDUMP text into spatial MO integrals. @throws ParseError. */
+MoIntegrals parseFcidump(std::istream &in);
+
+/** Load a file (throws ParseError, with the path, when unreadable). */
+MoIntegrals loadFcidumpFile(const std::string &path);
+
+/** Parse + second-quantize into a 2*NORB-mode fermionic Hamiltonian. */
+FermionHamiltonian loadFcidumpHamiltonian(const std::string &path);
+
+/** Write @p mo in FCIDUMP format (unique integrals only). */
+void writeFcidump(std::ostream &out, const MoIntegrals &mo,
+                  double tol = 1e-12);
+
+} // namespace hatt::io
+
+#endif // HATT_IO_FCIDUMP_HPP

@@ -1,0 +1,530 @@
+#include "io/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace hatt::io {
+
+namespace {
+
+/** Recursive-descent JSON parser over an in-memory buffer. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue(0);
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 200;
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        size_t line = 1;
+        for (size_t i = 0; i < pos_ && i < text_.size(); ++i)
+            if (text_[i] == '\n')
+                ++line;
+        throw ParseError("JSON parse error (line " + std::to_string(line) +
+                         "): " + msg);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        size_t len = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, len, lit) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting too deep");
+        char c = peek();
+        switch (c) {
+        case '{':
+            return parseObject(depth);
+        case '[':
+            return parseArray(depth);
+        case '"':
+            return JsonValue(parseString());
+        case 't':
+            if (consumeLiteral("true"))
+                return JsonValue(true);
+            fail("invalid literal");
+        case 'f':
+            if (consumeLiteral("false"))
+                return JsonValue(false);
+            fail("invalid literal");
+        case 'n':
+            if (consumeLiteral("null"))
+                return JsonValue(nullptr);
+            fail("invalid literal");
+        default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject(int depth)
+    {
+        expect('{');
+        JsonValue obj = JsonValue::object();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            if (peek() != '"')
+                fail("expected object key string");
+            std::string key = parseString();
+            expect(':');
+            obj.add(std::move(key), parseValue(depth + 1));
+            char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return obj;
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue
+    parseArray(int depth)
+    {
+        expect('[');
+        JsonValue arr = JsonValue::array();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue(depth + 1));
+            char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return arr;
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'n': out.push_back('\n'); break;
+            case 'r': out.push_back('\r'); break;
+            case 't': out.push_back('\t'); break;
+            case 'u': appendUnicodeEscape(out); break;
+            default: fail("invalid escape character");
+            }
+        }
+    }
+
+    unsigned
+    parseHex4()
+    {
+        if (pos_ + 4 > text_.size())
+            fail("truncated \\u escape");
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_++];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v += static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v += static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v += static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape digit");
+        }
+        return v;
+    }
+
+    void
+    appendUnicodeEscape(std::string &out)
+    {
+        unsigned cp = parseHex4();
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+                fail("unpaired surrogate");
+            pos_ += 2;
+            unsigned lo = parseHex4();
+            if (lo < 0xDC00 || lo > 0xDFFF)
+                fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate");
+        }
+        // UTF-8 encode.
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipWhitespace();
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool digits = false;
+        while (pos_ < text_.size() && std::isdigit(
+                   static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+            digits = true;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            while (pos_ < text_.size() && std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            while (pos_ < text_.size() && std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (!digits)
+            fail("invalid number");
+        std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            fail("invalid number");
+        return JsonValue(v);
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+} // namespace
+
+std::string
+jsonNumberToString(double value)
+{
+    if (!std::isfinite(value))
+        throw ParseError("cannot serialize non-finite number");
+    // Integral values within the exact-double range print without a
+    // fraction; everything else uses 17 significant digits, which strtod
+    // round-trips bit-exactly.
+    if (value == std::floor(value) && std::abs(value) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        throw ParseError("JSON value is not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        throw ParseError("JSON value is not a number");
+    return num_;
+}
+
+int64_t
+JsonValue::asInt(int64_t lo, int64_t hi) const
+{
+    double v = asNumber();
+    if (v != std::floor(v) || v < static_cast<double>(lo) ||
+        v > static_cast<double>(hi))
+        throw ParseError("JSON number out of integer range");
+    return static_cast<int64_t>(v);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        throw ParseError("JSON value is not a string");
+    return str_;
+}
+
+const JsonValue::Array &
+JsonValue::asArray() const
+{
+    if (kind_ != Kind::Array)
+        throw ParseError("JSON value is not an array");
+    return arr_;
+}
+
+const JsonValue::Object &
+JsonValue::asObject() const
+{
+    if (kind_ != Kind::Object)
+        throw ParseError("JSON value is not an object");
+    return obj_;
+}
+
+const JsonValue &
+JsonValue::at(size_t index) const
+{
+    const Array &a = asArray();
+    if (index >= a.size())
+        throw ParseError("JSON array index out of range");
+    return a[index];
+}
+
+size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::Array)
+        return arr_.size();
+    if (kind_ == Kind::Object)
+        return obj_.size();
+    throw ParseError("JSON value has no size");
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    if (const JsonValue *v = find(key))
+        return *v;
+    throw ParseError("missing JSON object key \"" + key + "\"");
+}
+
+void
+JsonValue::add(std::string key, JsonValue value)
+{
+    if (kind_ != Kind::Object)
+        throw ParseError("add(key, value) on non-object JSON value");
+    obj_.emplace_back(std::move(key), std::move(value));
+}
+
+void
+JsonValue::push(JsonValue value)
+{
+    if (kind_ != Kind::Array)
+        throw ParseError("push(value) on non-array JSON value");
+    arr_.push_back(std::move(value));
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int level) {
+        if (indent < 0)
+            return;
+        out.push_back('\n');
+        out.append(static_cast<size_t>(indent) * level, ' ');
+    };
+    switch (kind_) {
+    case Kind::Null:
+        out += "null";
+        break;
+    case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+    case Kind::Number:
+        out += jsonNumberToString(num_);
+        break;
+    case Kind::String:
+        appendEscaped(out, str_);
+        break;
+    case Kind::Array:
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back(']');
+        break;
+    case Kind::Object:
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            appendEscaped(out, obj_[i].first);
+            out += indent < 0 ? ":" : ": ";
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back('}');
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent >= 0)
+        out.push_back('\n');
+    return out;
+}
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    Parser p(text);
+    return p.parseDocument();
+}
+
+JsonValue
+JsonValue::parse(std::istream &in)
+{
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+} // namespace hatt::io

@@ -401,14 +401,9 @@ buildHattMapping(const MajoranaPolynomial &poly, const HattOptions &options)
     assert(active.size() == 1);
     assert(tree.isCompleteTree());
 
-    std::vector<PauliString> strings = tree.extractStrings();
     HattResult result{FermionQubitMapping{}, std::move(tree), stats};
-    result.mapping.numModes = n;
-    result.mapping.numQubits = n;
-    result.mapping.name = options.vacuumPairing ? "HATT" : "HATT-unopt";
-    result.mapping.majorana.reserve(2 * n);
-    for (uint32_t i = 0; i < 2 * n; ++i)
-        result.mapping.majorana.emplace_back(cplx{1.0, 0.0}, strings[i]);
+    result.mapping = mappingFromTree(
+        result.tree, options.vacuumPairing ? "HATT" : "HATT-unopt");
     result.stats.seconds = timer.seconds();
     return result;
 }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "tree/ternary_tree.hpp"
+
 namespace hatt {
 
 std::vector<PauliTerm>
@@ -24,6 +26,21 @@ FermionQubitMapping::creationOperator(uint32_t mode) const
     even.coeff *= 0.5;
     odd.coeff *= cplx{0.0, -0.5};
     return {even, odd};
+}
+
+FermionQubitMapping
+mappingFromTree(const TernaryTree &tree, std::string name)
+{
+    const uint32_t n = tree.numModes();
+    std::vector<PauliString> strings = tree.extractStrings();
+    FermionQubitMapping map;
+    map.numModes = n;
+    map.numQubits = n;
+    map.name = std::move(name);
+    map.majorana.reserve(2 * n);
+    for (uint32_t i = 0; i < 2 * n; ++i)
+        map.majorana.emplace_back(cplx{1.0, 0.0}, strings[i]);
+    return map;
 }
 
 std::string

@@ -16,6 +16,8 @@
 
 namespace hatt {
 
+class TernaryTree;
+
 /** A fermion-to-qubit mapping: Majorana index -> phased Pauli string. */
 struct FermionQubitMapping
 {
@@ -45,6 +47,15 @@ enum class MappingKind
 
 /** Human-readable name used in benchmark tables. */
 std::string mappingKindName(MappingKind kind);
+
+/**
+ * Derive the mapping of a complete ternary tree: Majorana i -> leaf-i
+ * path string with unit coefficient, exactly as every tree-based
+ * construction (HATT, BTT, search) emits it. Lets a serialized tree be
+ * re-mapped without rerunning the optimization.
+ */
+FermionQubitMapping mappingFromTree(const TernaryTree &tree,
+                                    std::string name);
 
 } // namespace hatt
 

@@ -1,46 +1,59 @@
 #include "models/hubbard.hpp"
 
-#include <vector>
-
 namespace hatt {
 
-FermionHamiltonian
-hubbardModel(const HubbardParams &params)
+uint32_t
+hubbardNumModes(const HubbardParams &params)
+{
+    return 2 * params.rows * params.cols;
+}
+
+void
+streamHubbardTerms(const HubbardParams &params,
+                   const std::function<void(FermionTerm &&)> &sink)
 {
     const uint32_t sites = params.rows * params.cols;
-    FermionHamiltonian hf(2 * sites);
 
     auto site = [&](uint32_t r, uint32_t c) { return r * params.cols + c; };
     auto mode = [&](uint32_t s, int spin) {
         return 2 * s + static_cast<uint32_t>(spin);
     };
+    auto hop = [&](uint32_t i, uint32_t j) {
+        for (int spin = 0; spin < 2; ++spin) {
+            sink(FermionTerm(-params.t, {create(mode(i, spin)),
+                                         annihilate(mode(j, spin))}));
+            sink(FermionTerm(-params.t, {create(mode(j, spin)),
+                                         annihilate(mode(i, spin))}));
+        }
+    };
 
-    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    // Edges in the same row-major order the batch builder enumerates.
     for (uint32_t r = 0; r < params.rows; ++r) {
         for (uint32_t c = 0; c < params.cols; ++c) {
             if (c + 1 < params.cols)
-                edges.emplace_back(site(r, c), site(r, c + 1));
+                hop(site(r, c), site(r, c + 1));
             else if (params.periodic && params.cols > 2)
-                edges.emplace_back(site(r, c), site(r, 0));
+                hop(site(r, c), site(r, 0));
             if (r + 1 < params.rows)
-                edges.emplace_back(site(r, c), site(r + 1, c));
+                hop(site(r, c), site(r + 1, c));
             else if (params.periodic && params.rows > 2)
-                edges.emplace_back(site(r, c), site(0, c));
-        }
-    }
-
-    for (auto [i, j] : edges) {
-        for (int spin = 0; spin < 2; ++spin) {
-            hf.add(-params.t,
-                   {create(mode(i, spin)), annihilate(mode(j, spin))});
-            hf.add(-params.t,
-                   {create(mode(j, spin)), annihilate(mode(i, spin))});
+                hop(site(r, c), site(0, c));
         }
     }
     for (uint32_t s = 0; s < sites; ++s) {
-        hf.add(params.u, {create(mode(s, 0)), annihilate(mode(s, 0)),
-                          create(mode(s, 1)), annihilate(mode(s, 1))});
+        sink(FermionTerm(params.u,
+                         {create(mode(s, 0)), annihilate(mode(s, 0)),
+                          create(mode(s, 1)), annihilate(mode(s, 1))}));
     }
+}
+
+FermionHamiltonian
+hubbardModel(const HubbardParams &params)
+{
+    FermionHamiltonian hf(hubbardNumModes(params));
+    streamHubbardTerms(params, [&](FermionTerm &&term) {
+        hf.add(term.coeff, std::move(term.ops));
+    });
     return hf;
 }
 

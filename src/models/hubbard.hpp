@@ -14,6 +14,8 @@
  * lattice has 2*rows*cols modes ("2x2 = 8 modes" in Table II).
  */
 
+#include <functional>
+
 #include "fermion/fermion_op.hpp"
 
 namespace hatt {
@@ -27,6 +29,17 @@ struct HubbardParams
     double u = 4.0;
     bool periodic = false;
 };
+
+/** Number of spin-orbital modes of the lattice (2 * rows * cols). */
+uint32_t hubbardNumModes(const HubbardParams &params);
+
+/**
+ * Emit the Hamiltonian's terms one at a time through @p sink, in the
+ * exact order hubbardModel() adds them. Lattices far beyond 10^5 terms
+ * stream without ever materializing the term list (see io/stream.hpp).
+ */
+void streamHubbardTerms(const HubbardParams &params,
+                        const std::function<void(FermionTerm &&)> &sink);
 
 /** Build the Fermi-Hubbard Hamiltonian. */
 FermionHamiltonian hubbardModel(const HubbardParams &params);

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * End-to-end tests of the `hattc` compiler driver (io/compiler): the
+ * exact code path the CLI ships, run in-process. Pins the acceptance
+ * round trip — `hattc compile examples/data/h2.ops --mapping hatt`
+ * parses, maps and serializes, and reloading the serialized tree and
+ * re-mapping reproduces the identical total Pauli weight and term
+ * hashes as the in-memory pipeline — plus the FCIDUMP path, the
+ * content-addressed cache, and CLI error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fermion/majorana.hpp"
+#include "ham/qubit_hamiltonian.hpp"
+#include "io/compiler.hpp"
+#include "io/fermion_text.hpp"
+#include "io/serialize.hpp"
+#include "mapping/hatt.hpp"
+#include "mapping/verify.hpp"
+
+namespace hatt {
+namespace {
+
+namespace fs = std::filesystem;
+using io::JsonValue;
+
+/** FNV-1a over a PauliSum's term strings + coefficient bit patterns. */
+uint64_t
+sumHash(const PauliSum &sum)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix_bytes = [&](const void *p, size_t n) {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 1099511628211ull;
+        }
+    };
+    for (const PauliTerm &t : sum.terms()) {
+        double re = t.coeff.real(), im = t.coeff.imag();
+        mix_bytes(&re, sizeof(re));
+        mix_bytes(&im, sizeof(im));
+        std::string s = t.string.toString();
+        mix_bytes(s.data(), s.size());
+    }
+    return h;
+}
+
+std::string
+dataFile(const std::string &name)
+{
+    for (const char *prefix :
+         {"../examples/data/", "examples/data/", "../../examples/data/"}) {
+        std::string p = prefix + name;
+        if (std::ifstream(p).good())
+            return p;
+    }
+    ADD_FAILURE() << "cannot locate examples/data/" << name;
+    return name;
+}
+
+fs::path
+scratchDir(const std::string &tag)
+{
+    fs::path dir = fs::temp_directory_path() /
+                   ("hatt_hattc_test_" + tag + "_" +
+                    std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+int
+run(const std::vector<std::string> &args, std::string *out_text = nullptr)
+{
+    std::ostringstream out, err;
+    int code = io::runHattc(args, out, err);
+    if (out_text)
+        *out_text = out.str() + err.str();
+    return code;
+}
+
+TEST(Hattc, CompileRoundTripMatchesInMemoryPipeline)
+{
+    const std::string input = dataFile("h2.ops");
+    fs::path dir = scratchDir("compile");
+
+    // In-memory reference pipeline.
+    FermionHamiltonian hf = io::loadFermionTextFile(input);
+    MajoranaPolynomial poly = MajoranaPolynomial::fromFermion(hf);
+    HattResult ref = buildHattMapping(poly);
+    PauliSum ref_hq = mapToQubits(poly, ref.mapping);
+
+    // Driver pipeline (streaming parse path).
+    ASSERT_EQ(run({"compile", input, "--mapping", "hatt", "-o",
+                   dir.string()}),
+              0);
+
+    // The serialized qubit Hamiltonian is bit-identical.
+    PauliSum hq = io::pauliSumFromJson(
+        io::loadJsonFile((dir / "h2.qubit.json").string()));
+    EXPECT_EQ(hq.numQubits(), ref_hq.numQubits());
+    EXPECT_EQ(hq.pauliWeight(), ref_hq.pauliWeight());
+    EXPECT_EQ(sumHash(hq), sumHash(ref_hq));
+
+    // Reloading the serialized tree and RE-MAPPING reproduces the same
+    // weight and term hashes as the in-memory pipeline.
+    TernaryTree tree = io::treeFromJson(
+        io::loadJsonFile((dir / "h2.tree.json").string()));
+    FermionQubitMapping remapped = mappingFromTree(tree, "HATT");
+    PauliSum re_hq = mapToQubits(poly, remapped);
+    EXPECT_EQ(re_hq.pauliWeight(), ref_hq.pauliWeight());
+    EXPECT_EQ(sumHash(re_hq), sumHash(ref_hq));
+
+    // The serialized mapping agrees string-for-string with the tree.
+    FermionQubitMapping mapping = io::mappingFromJson(
+        io::loadJsonFile((dir / "h2.mapping.json").string()));
+    ASSERT_EQ(mapping.majorana.size(), remapped.majorana.size());
+    for (size_t i = 0; i < mapping.majorana.size(); ++i)
+        EXPECT_EQ(mapping.majorana[i].string,
+                  remapped.majorana[i].string);
+
+    // Metrics record is in the BENCH shape with the paper's H2 weight.
+    JsonValue metrics =
+        io::loadJsonFile((dir / "h2.metrics.json").string());
+    EXPECT_EQ(metrics.at("benchmark").asString(), "hattc");
+    const JsonValue &rec = metrics.at("records").at(size_t{0});
+    EXPECT_EQ(rec.at("name").asString(), "h2/hatt");
+    EXPECT_EQ(rec.at("pauli_weight").asInt(), 32);
+    EXPECT_FALSE(rec.at("cache_hit").asBool());
+    fs::remove_all(dir);
+}
+
+TEST(Hattc, FcidumpInputCompilesToSameQubitCountAndWeight)
+{
+    fs::path dir = scratchDir("fcidump");
+    std::string text;
+    ASSERT_EQ(run({"compile", dataFile("h2.fcidump"), "-o",
+                   dir.string()},
+                  &text),
+              0)
+        << text;
+    JsonValue metrics =
+        io::loadJsonFile((dir / "h2.metrics.json").string());
+    EXPECT_EQ(
+        metrics.at("records").at(size_t{0}).at("pauli_weight").asInt(),
+        32);
+    FermionQubitMapping mapping = io::mappingFromJson(
+        io::loadJsonFile((dir / "h2.mapping.json").string()));
+    EXPECT_EQ(mapping.numQubits, 4u);
+    fs::remove_all(dir);
+}
+
+TEST(Hattc, BaselineMappingsAndStatsRun)
+{
+    fs::path dir = scratchDir("baselines");
+    for (const std::string kind : {"jw", "bk", "btt", "hatt-unopt"}) {
+        std::string text;
+        EXPECT_EQ(run({"map", dataFile("eq3.ops"), "--mapping", kind,
+                       "-o", (dir / kind).string()},
+                      &text),
+                  0)
+            << kind << ": " << text;
+    }
+    std::string text;
+    EXPECT_EQ(run({"stats", dataFile("hubbard2x2.ops")}, &text), 0);
+    EXPECT_NE(text.find("modes:             8"), std::string::npos)
+        << text;
+    fs::remove_all(dir);
+}
+
+TEST(Hattc, CacheSkipsReoptimizationAndReproducesOutputsExactly)
+{
+    fs::path dir = scratchDir("cachecli");
+    const std::string input = dataFile("hubbard2x2.ops");
+    const std::string cache = (dir / "cache").string();
+
+    ASSERT_EQ(run({"compile", input, "--cache", cache, "-o",
+                   (dir / "a").string()}),
+              0);
+    ASSERT_EQ(run({"compile", input, "--cache", cache, "-o",
+                   (dir / "b").string()}),
+              0);
+
+    JsonValue ma =
+        io::loadJsonFile((dir / "a/hubbard2x2.metrics.json").string());
+    JsonValue mb =
+        io::loadJsonFile((dir / "b/hubbard2x2.metrics.json").string());
+    EXPECT_FALSE(
+        ma.at("records").at(size_t{0}).at("cache_hit").asBool());
+    EXPECT_TRUE(
+        mb.at("records").at(size_t{0}).at("cache_hit").asBool());
+    EXPECT_EQ(
+        ma.at("records").at(size_t{0}).at("pauli_weight").asInt(),
+        mb.at("records").at(size_t{0}).at("pauli_weight").asInt());
+    // The determinism witness survives the cache round trip.
+    EXPECT_EQ(
+        ma.at("records").at(size_t{0}).at("candidates").asInt(),
+        mb.at("records").at(size_t{0}).at("candidates").asInt());
+
+    // The qubit Hamiltonians from the fresh and cached runs are
+    // byte-identical.
+    auto slurp = [](const fs::path &p) {
+        std::ifstream in(p);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    };
+    EXPECT_EQ(slurp(dir / "a/hubbard2x2.qubit.json"),
+              slurp(dir / "b/hubbard2x2.qubit.json"));
+    fs::remove_all(dir);
+}
+
+TEST(Hattc, VerifyAcceptsValidAndRejectsTamperedMappings)
+{
+    fs::path dir = scratchDir("verify");
+    ASSERT_EQ(run({"map", dataFile("eq3.ops"), "-o", dir.string()}), 0);
+    const std::string path = (dir / "eq3.mapping.json").string();
+
+    std::string text;
+    EXPECT_EQ(run({"verify", path}, &text), 0);
+    EXPECT_NE(text.find("valid:    yes"), std::string::npos) << text;
+    EXPECT_NE(text.find("vacuum:   preserved"), std::string::npos);
+
+    // --require-vacuum gates the exit code on vacuum preservation:
+    // a valid mapping that breaks it (negate one Majorana coefficient)
+    // passes plain verify but fails the strict mode.
+    JsonValue doc = io::loadJsonFile(path);
+    FermionQubitMapping map = io::mappingFromJson(doc);
+    map.majorana[1].coeff = -map.majorana[1].coeff;
+    io::saveJsonFile(path, io::mappingToJson(map));
+    EXPECT_EQ(run({"verify", path}, &text), 0);
+    EXPECT_NE(text.find("not preserved"), std::string::npos) << text;
+    EXPECT_EQ(run({"verify", "--require-vacuum", path}, &text), 1);
+
+    // Tamper: duplicate one Majorana string -> anticommutation breaks.
+    map.majorana[1] = map.majorana[0];
+    io::saveJsonFile(path, io::mappingToJson(map));
+    EXPECT_EQ(run({"verify", path}, &text), 1);
+    EXPECT_NE(text.find("valid:    no"), std::string::npos) << text;
+    fs::remove_all(dir);
+}
+
+TEST(Hattc, ReportsUsageAndInputErrors)
+{
+    std::string text;
+    EXPECT_EQ(run({}, &text), 2);
+    EXPECT_NE(text.find("usage:"), std::string::npos);
+    EXPECT_EQ(run({"frobnicate", "x"}, &text), 2);
+    EXPECT_EQ(run({"map"}, &text), 2);
+    EXPECT_EQ(run({"map", "in.ops", "--mapping", "nope"}, &text), 2);
+    EXPECT_EQ(run({"map", "in.ops", "--format", "nope"}, &text), 2);
+    EXPECT_EQ(run({"map", "/nonexistent/input.ops"}, &text), 2);
+    EXPECT_NE(text.find("cannot open"), std::string::npos) << text;
+
+    // Malformed input file -> parse diagnostics, exit 2.
+    fs::path dir = scratchDir("badinput");
+    const std::string bad = (dir / "bad.ops").string();
+    {
+        std::ofstream os(bad);
+        os << "modes 2\n1.0 [0^ 1\n";
+    }
+    EXPECT_EQ(run({"compile", bad}, &text), 2);
+    EXPECT_NE(text.find("line 2"), std::string::npos) << text;
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace hatt

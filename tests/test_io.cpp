@@ -1,0 +1,604 @@
+/**
+ * @file
+ * io subsystem tests: JSON round trips, .ops / FCIDUMP parsing and
+ * malformed-input rejection, streaming Majorana preprocessing (bit-exact
+ * parity with the batch path + interface-level memory evidence on a
+ * >= 10^5-term Hubbard lattice), versioned serialization round trips
+ * pinned against the seed hashes of tests/test_perf_parity.cpp, and the
+ * content-addressed mapping cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fermion/majorana.hpp"
+#include "ham/qubit_hamiltonian.hpp"
+#include "io/cache.hpp"
+#include "io/fcidump.hpp"
+#include "io/fermion_text.hpp"
+#include "io/json.hpp"
+#include "io/serialize.hpp"
+#include "io/stream.hpp"
+#include "mapping/hatt.hpp"
+#include "models/chains.hpp"
+#include "models/hubbard.hpp"
+
+namespace hatt {
+namespace {
+
+namespace fs = std::filesystem;
+using io::JsonValue;
+using io::ParseError;
+
+/** FNV-1a over the mapping strings, as pinned in test_perf_parity. */
+uint64_t
+stringsHash(const FermionQubitMapping &map)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (const auto &m : map.majorana)
+        for (char c : m.string.toString()) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ull;
+        }
+    return h;
+}
+
+/** FNV-1a over a PauliSum's term strings + coefficient bit patterns. */
+uint64_t
+sumHash(const PauliSum &sum)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix_bytes = [&](const void *p, size_t n) {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 1099511628211ull;
+        }
+    };
+    for (const PauliTerm &t : sum.terms()) {
+        double re = t.coeff.real(), im = t.coeff.imag();
+        mix_bytes(&re, sizeof(re));
+        mix_bytes(&im, sizeof(im));
+        std::string s = t.string.toString();
+        mix_bytes(s.data(), s.size());
+    }
+    return h;
+}
+
+/** Locate a file under examples/data from the build/test working dir. */
+std::string
+dataFile(const std::string &name)
+{
+    for (const char *prefix :
+         {"../examples/data/", "examples/data/", "../../examples/data/"}) {
+        std::string p = prefix + name;
+        if (std::ifstream(p).good())
+            return p;
+    }
+    ADD_FAILURE() << "cannot locate examples/data/" << name;
+    return name;
+}
+
+/** Fresh scratch directory under the system temp dir. */
+fs::path
+scratchDir(const std::string &tag)
+{
+    fs::path dir = fs::temp_directory_path() /
+                   ("hatt_io_test_" + tag + "_" +
+                    std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+// ------------------------------------------------------------------ JSON
+
+TEST(Json, RoundTripsValuesBitExactly)
+{
+    JsonValue doc = JsonValue::object();
+    doc.add("int", 42);
+    doc.add("neg", -7);
+    doc.add("pi", 3.141592653589793);
+    doc.add("tiny", 4.9406564584124654e-324); // denormal min
+    doc.add("text", std::string("a\"b\\c\n\t\x01"));
+    doc.add("flag", true);
+    doc.add("nothing", nullptr);
+    JsonValue arr = JsonValue::array();
+    arr.push(1);
+    arr.push("two");
+    arr.push(JsonValue::array());
+    doc.add("arr", std::move(arr));
+
+    for (int indent : {-1, 2}) {
+        JsonValue back = JsonValue::parse(doc.dump(indent));
+        EXPECT_EQ(back.at("int").asInt(), 42);
+        EXPECT_EQ(back.at("neg").asInt(), -7);
+        EXPECT_EQ(back.at("pi").asNumber(), 3.141592653589793);
+        EXPECT_EQ(back.at("tiny").asNumber(), 4.9406564584124654e-324);
+        EXPECT_EQ(back.at("text").asString(), "a\"b\\c\n\t\x01");
+        EXPECT_TRUE(back.at("flag").asBool());
+        EXPECT_TRUE(back.at("nothing").isNull());
+        EXPECT_EQ(back.at("arr").size(), 3u);
+        EXPECT_EQ(back.at("arr").at(size_t{1}).asString(), "two");
+    }
+}
+
+TEST(Json, RejectsMalformedDocuments)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "[1 2]", "{\"a\" 1}", "{\"a\":}", "tru",
+          "\"unterminated", "\"bad \\q escape\"", "1.2.3", "[1] trailing",
+          "{\"a\":1,}", "\"\\ud800\"", "nan"}) {
+        EXPECT_THROW(JsonValue::parse(bad), ParseError) << bad;
+    }
+}
+
+TEST(Json, RejectsAbsurdNesting)
+{
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    EXPECT_THROW(JsonValue::parse(deep), ParseError);
+}
+
+// ------------------------------------------------------------- .ops text
+
+TEST(FermionText, ParsesTermsAndHeader)
+{
+    std::istringstream in("# comment\n"
+                          "modes 5\n"
+                          "\n"
+                          "1.5 [0^ 1]\n"
+                          "-2e-3 [] +\n"
+                          "(0.5-0.25j) [4^ 3^ 4 3]   # inline comment\n");
+    FermionHamiltonian hf = io::parseFermionText(in);
+    ASSERT_EQ(hf.numModes(), 5u);
+    ASSERT_EQ(hf.size(), 3u);
+    EXPECT_EQ(hf.terms()[0].coeff, cplx(1.5, 0.0));
+    ASSERT_EQ(hf.terms()[0].ops.size(), 2u);
+    EXPECT_EQ(hf.terms()[0].ops[0], create(0));
+    EXPECT_EQ(hf.terms()[0].ops[1], annihilate(1));
+    EXPECT_EQ(hf.terms()[1].coeff, cplx(-2e-3, 0.0));
+    EXPECT_TRUE(hf.terms()[1].ops.empty());
+    EXPECT_EQ(hf.terms()[2].coeff, cplx(0.5, -0.25));
+    ASSERT_EQ(hf.terms()[2].ops.size(), 4u);
+    EXPECT_EQ(hf.terms()[2].ops[0], create(4));
+}
+
+TEST(FermionText, InfersModesWhenUndeclared)
+{
+    std::istringstream in("1.0 [6^ 2]\n");
+    FermionHamiltonian hf = io::parseFermionText(in);
+    EXPECT_EQ(hf.numModes(), 7u);
+}
+
+TEST(FermionText, StreamingCallbackSeesEveryTermWithoutAList)
+{
+    std::ostringstream doc;
+    doc << "modes 12\n";
+    for (int i = 0; i < 500; ++i)
+        doc << (i % 2 ? 1.0 : -0.5) << " [" << i % 12 << "^ "
+            << (i + 5) % 12 << "]\n";
+    std::istringstream in(doc.str());
+    size_t seen = 0;
+    io::FermionTextInfo info =
+        io::streamFermionText(in, [&](FermionTerm &&t) {
+            EXPECT_EQ(t.ops.size(), 2u);
+            ++seen;
+            return true;
+        });
+    EXPECT_EQ(seen, 500u);
+    EXPECT_EQ(info.numTerms, 500u);
+    EXPECT_EQ(info.numModes, 12u);
+    EXPECT_TRUE(info.declaredModes);
+}
+
+TEST(FermionText, CallbackCanStopEarly)
+{
+    std::istringstream in("1 [0]\n2 [1]\n3 [2]\n");
+    size_t seen = 0;
+    io::streamFermionText(in, [&](FermionTerm &&) { return ++seen < 2; });
+    EXPECT_EQ(seen, 2u);
+}
+
+TEST(FermionText, RejectsMalformedInput)
+{
+    const char *bad_docs[] = {
+        "1.0 [0^ 1",             // truncated: missing ]
+        "abc [0]",               // non-numeric coefficient
+        "1.0 0^ 1]",             // missing [
+        "1.0 [0^ x]",            // non-numeric mode
+        "1.0 [0^1]",             // missing separator
+        "(1.0) [0]",             // complex without imag part
+        "(1.0+2j [0]",           // unterminated complex
+        "1.0j [0]",              // bare imaginary coefficient
+        "1.0 [0] trailing",      // garbage after term
+        "modes 4\n1.0 [5^ 0]",   // mode out of declared range
+        "modes 0\n1.0 [0]",      // invalid modes header
+        "modes 4\nmodes 4\n",    // duplicate header
+        "1.0 [0]\nmodes 4\n",    // header after terms
+        "modes four\n",          // non-numeric header
+        "inf [0]",               // non-finite coefficient
+        "1e999 [0]",             // overflowing coefficient
+    };
+    for (const char *doc : bad_docs) {
+        std::istringstream in(doc);
+        EXPECT_THROW(io::parseFermionText(in), ParseError) << doc;
+    }
+}
+
+TEST(FermionText, WriteParseRoundTripIsExact)
+{
+    FermionHamiltonian hf = hubbardModel({2, 3, 1.0, 4.0});
+    std::ostringstream os;
+    io::writeFermionText(os, hf, "round trip");
+    std::istringstream in(os.str());
+    FermionHamiltonian back = io::parseFermionText(in);
+    ASSERT_EQ(back.numModes(), hf.numModes());
+    ASSERT_EQ(back.size(), hf.size());
+    for (size_t i = 0; i < hf.size(); ++i) {
+        EXPECT_EQ(back.terms()[i].coeff, hf.terms()[i].coeff);
+        EXPECT_EQ(back.terms()[i].ops, hf.terms()[i].ops);
+    }
+}
+
+// --------------------------------------------------------------- FCIDUMP
+
+TEST(Fcidump, ParsesHeaderAndIntegrals)
+{
+    std::istringstream in("&FCI NORB=2,NELEC=2,MS2=0,\n"
+                          " ORBSYM=1,1,\n"
+                          " ISYM=1,\n"
+                          "&END\n"
+                          " 0.5 1 1 1 1\n"
+                          " 0.25 2 1 2 1\n"
+                          " -1.25 1 1 0 0\n"
+                          " 0.75 0 0 0 0\n");
+    MoIntegrals mo = io::parseFcidump(in);
+    EXPECT_EQ(mo.numOrbitals, 2u);
+    EXPECT_EQ(mo.numElectrons, 2u);
+    EXPECT_EQ(mo.coreEnergy, 0.75);
+    EXPECT_EQ(mo.oneBody(0, 0), -1.25);
+    EXPECT_EQ(mo.twoBody.at(0, 0, 0, 0), 0.5);
+    // 8-fold symmetry fan-out of (21|21).
+    EXPECT_EQ(mo.twoBody.at(1, 0, 1, 0), 0.25);
+    EXPECT_EQ(mo.twoBody.at(0, 1, 1, 0), 0.25);
+    EXPECT_EQ(mo.twoBody.at(1, 0, 0, 1), 0.25);
+    EXPECT_EQ(mo.twoBody.at(0, 1, 0, 1), 0.25);
+}
+
+TEST(Fcidump, AcceptsFortranDExponents)
+{
+    std::istringstream in("&FCI NORB=1,NELEC=2, &END\n"
+                          " 0.5D+00 1 1 1 1\n"
+                          " -1.25d-01 1 1 0 0\n"
+                          " 7.5D-1 0 0 0 0\n");
+    MoIntegrals mo = io::parseFcidump(in);
+    EXPECT_EQ(mo.twoBody.at(0, 0, 0, 0), 0.5);
+    EXPECT_EQ(mo.oneBody(0, 0), -0.125);
+    EXPECT_EQ(mo.coreEnergy, 0.75);
+}
+
+TEST(Fcidump, RejectsMalformedInput)
+{
+    const char *bad_docs[] = {
+        "",                                          // empty
+        "NORB=2\n",                                  // no &FCI
+        "&FCI NORB=2,NELEC=2,\n",                    // no &END
+        "&FCI NELEC=2, &END\n",                      // missing NORB
+        "&FCI NORB=0,NELEC=0, &END\n",               // NORB out of range
+        "&FCI NORB=2,NELEC=9, &END\n",               // NELEC out of range
+        "&FCI NORB=2,NELEC=2, &END\n 0.5 1 1 1\n",   // truncated line
+        "&FCI NORB=2,NELEC=2, &END\n 0.5 3 1 1 1\n", // index > NORB
+        "&FCI NORB=2,NELEC=2, &END\n 0.5 1 0 1 1\n", // mixed zero indices
+        "&FCI NORB=2,NELEC=2, &END\n x 1 1 1 1\n",   // non-numeric value
+        "&FCI NORB=2,NELEC=2, &END\n 0.5 1 1 1 1 9\n", // trailing junk
+    };
+    for (const char *doc : bad_docs) {
+        std::istringstream in(doc);
+        EXPECT_THROW(io::parseFcidump(in), ParseError) << doc;
+    }
+}
+
+TEST(Fcidump, WriteParseRoundTripIsExact)
+{
+    MoIntegrals mo = io::loadFcidumpFile(dataFile("h2.fcidump"));
+    std::ostringstream os;
+    io::writeFcidump(os, mo);
+    std::istringstream in(os.str());
+    MoIntegrals back = io::parseFcidump(in);
+    ASSERT_EQ(back.numOrbitals, mo.numOrbitals);
+    EXPECT_EQ(back.numElectrons, mo.numElectrons);
+    EXPECT_EQ(back.coreEnergy, mo.coreEnergy);
+    const size_t n = mo.numOrbitals;
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j) {
+            EXPECT_EQ(back.oneBody(i, j), mo.oneBody(i, j));
+            for (size_t k = 0; k < n; ++k)
+                for (size_t l = 0; l < n; ++l)
+                    EXPECT_EQ(back.twoBody.at(i, j, k, l),
+                              mo.twoBody.at(i, j, k, l));
+        }
+}
+
+// ----------------------------------------------- streaming preprocessing
+
+TEST(Stream, MatchesBatchPreprocessingBitExactly)
+{
+    FermionHamiltonian hf = hubbardModel({2, 3, 1.0, 4.0});
+    MajoranaPolynomial batch = MajoranaPolynomial::fromFermion(hf);
+
+    io::StreamingMajoranaAccumulator acc(hf.numModes());
+    for (const FermionTerm &t : hf.terms())
+        acc.add(t);
+    MajoranaPolynomial streamed = acc.finish();
+
+    ASSERT_EQ(streamed.numModes(), batch.numModes());
+    ASSERT_EQ(streamed.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(streamed.terms()[i].indices, batch.terms()[i].indices);
+        EXPECT_EQ(streamed.terms()[i].coeff, batch.terms()[i].coeff);
+    }
+    EXPECT_EQ(io::majoranaContentHash(streamed),
+              io::majoranaContentHash(batch));
+}
+
+TEST(Stream, HundredThousandTermHubbardStreamsWithoutTermList)
+{
+    // 128 x 128 periodic lattice: 147456 fermionic terms, 32768 modes.
+    // Terms flow generator -> accumulator one at a time; the only state
+    // that grows is the deduplicated monomial set (the accumulator holds
+    // no term list), bounded by the distinct-monomial count below — far
+    // under the 16x expansion volume a term list + batch expansion
+    // would hold.
+    HubbardParams params{128, 128, 1.0, 4.0, true};
+    io::StreamingMajoranaAccumulator acc(hubbardNumModes(params));
+    streamHubbardTerms(params,
+                       [&](FermionTerm &&t) { acc.add(t); });
+
+    EXPECT_GE(acc.termsConsumed(), 100'000u);
+
+    // Monomial count is linear in the lattice size: hopping terms touch
+    // 8 distinct index sets per edge (4 per spin; the forward/backward
+    // directions fold, and half cancel to zero at finish()), U terms 3
+    // new sets per site plus the shared constant.
+    const uint64_t sites = 128 * 128, edges = 2 * sites;
+    EXPECT_LE(acc.currentMonomials(), 8 * edges + 3 * sites + 1);
+
+    MajoranaPolynomial poly = acc.finish(); // must not exhaust memory
+    EXPECT_EQ(poly.numModes(), hubbardNumModes(params));
+    EXPECT_GT(poly.size(), 0u);
+}
+
+TEST(Stream, AgreesWithBatchOnStreamedHubbardLattice)
+{
+    HubbardParams params{4, 4, 1.0, 4.0, true};
+    io::StreamingMajoranaAccumulator acc(hubbardNumModes(params));
+    streamHubbardTerms(params, [&](FermionTerm &&t) { acc.add(t); });
+    MajoranaPolynomial streamed = acc.finish();
+    MajoranaPolynomial batch =
+        MajoranaPolynomial::fromFermion(hubbardModel(params));
+    ASSERT_EQ(streamed.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(streamed.terms()[i].indices, batch.terms()[i].indices);
+        EXPECT_EQ(streamed.terms()[i].coeff, batch.terms()[i].coeff);
+    }
+}
+
+// ----------------------------------------------------------- serializers
+
+TEST(Serialize, TreeRoundTripsNodeForNode)
+{
+    MajoranaPolynomial poly = MajoranaPolynomial::fromFermion(
+        hubbardModel({2, 2, 1.0, 4.0}));
+    HattResult res = buildHattMapping(poly);
+
+    std::string text = io::treeToJson(res.tree).dump(2);
+    TernaryTree back = io::treeFromJson(JsonValue::parse(text));
+
+    ASSERT_EQ(back.numModes(), res.tree.numModes());
+    ASSERT_EQ(back.numNodes(), res.tree.numNodes());
+    for (size_t id = 0; id < res.tree.numNodes(); ++id) {
+        const TreeNode &a = res.tree.node(static_cast<int>(id));
+        const TreeNode &b = back.node(static_cast<int>(id));
+        EXPECT_EQ(a.child, b.child) << "node " << id;
+        EXPECT_EQ(a.parent, b.parent) << "node " << id;
+        EXPECT_EQ(a.qubit, b.qubit) << "node " << id;
+        EXPECT_EQ(a.leafIndex, b.leafIndex) << "node " << id;
+    }
+
+    // Re-deriving the mapping from the reloaded tree reproduces the
+    // seed-pinned string hash (test_perf_parity "hub22", pairing).
+    FermionQubitMapping remapped = mappingFromTree(back, "HATT");
+    EXPECT_EQ(stringsHash(remapped), 2707256268756362103ull);
+    EXPECT_EQ(stringsHash(remapped), stringsHash(res.mapping));
+}
+
+TEST(Serialize, MappingRoundTripsBitExactly)
+{
+    MajoranaPolynomial poly = randomMajoranaPolynomial(6, 14, 1);
+    HattResult res = buildHattMapping(poly);
+    res.mapping.majorana[3].coeff = cplx(0.25, -0.125); // exercise coeffs
+
+    FermionQubitMapping back = io::mappingFromJson(
+        JsonValue::parse(io::mappingToJson(res.mapping).dump()));
+    EXPECT_EQ(back.name, res.mapping.name);
+    EXPECT_EQ(back.numModes, res.mapping.numModes);
+    EXPECT_EQ(back.numQubits, res.mapping.numQubits);
+    ASSERT_EQ(back.majorana.size(), res.mapping.majorana.size());
+    for (size_t i = 0; i < back.majorana.size(); ++i) {
+        EXPECT_EQ(back.majorana[i].coeff, res.mapping.majorana[i].coeff);
+        EXPECT_EQ(back.majorana[i].string, res.mapping.majorana[i].string);
+    }
+    // Seed-pinned hash ("rand6", pairing) survives the round trip.
+    EXPECT_EQ(stringsHash(back), 17077076422476393563ull);
+}
+
+TEST(Serialize, PauliSumRoundTripsBitExactly)
+{
+    MajoranaPolynomial poly = MajoranaPolynomial::fromFermion(
+        hubbardModel({2, 2, 1.0, 4.0}));
+    HattResult res = buildHattMapping(poly);
+    PauliSum hq = mapToQubits(poly, res.mapping);
+
+    PauliSum back = io::pauliSumFromJson(
+        JsonValue::parse(io::pauliSumToJson(hq).dump(2)));
+    ASSERT_EQ(back.numQubits(), hq.numQubits());
+    ASSERT_EQ(back.size(), hq.size());
+    for (size_t i = 0; i < hq.size(); ++i) {
+        EXPECT_EQ(back.terms()[i].coeff, hq.terms()[i].coeff);
+        EXPECT_EQ(back.terms()[i].string, hq.terms()[i].string);
+    }
+    EXPECT_EQ(back.pauliWeight(), hq.pauliWeight());
+    EXPECT_EQ(sumHash(back), sumHash(hq));
+}
+
+TEST(Serialize, MajoranaRoundTripAndOrderIndependentHash)
+{
+    MajoranaPolynomial poly = randomMajoranaPolynomial(5, 12, 7);
+    MajoranaPolynomial back = io::majoranaFromJson(
+        JsonValue::parse(io::majoranaToJson(poly).dump()));
+    ASSERT_EQ(back.size(), poly.size());
+    for (size_t i = 0; i < poly.size(); ++i) {
+        EXPECT_EQ(back.terms()[i].indices, poly.terms()[i].indices);
+        EXPECT_EQ(back.terms()[i].coeff, poly.terms()[i].coeff);
+    }
+    EXPECT_EQ(io::majoranaContentHash(back),
+              io::majoranaContentHash(poly));
+
+    // Hash is invariant under term reordering but not under changes.
+    MajoranaPolynomial shuffled(poly.numModes());
+    for (size_t i = poly.size(); i-- > 0;) {
+        auto t = poly.terms()[i];
+        shuffled.add(t.coeff, t.indices);
+    }
+    EXPECT_EQ(io::majoranaContentHash(shuffled),
+              io::majoranaContentHash(poly));
+    MajoranaPolynomial changed(poly.numModes());
+    for (const auto &t : poly.terms())
+        changed.add(t.coeff, t.indices);
+    changed.add(1e-3, {0, 1});
+    changed.compress();
+    EXPECT_NE(io::majoranaContentHash(changed),
+              io::majoranaContentHash(poly));
+}
+
+TEST(Serialize, RejectsMalformedDocuments)
+{
+    // Envelope violations.
+    EXPECT_THROW(io::treeFromJson(JsonValue::parse("{}")), ParseError);
+    EXPECT_THROW(io::treeFromJson(JsonValue::parse(
+                     R"({"format":"hatt-mapping","version":1})")),
+                 ParseError);
+    EXPECT_THROW(io::treeFromJson(JsonValue::parse(
+                     R"({"format":"hatt-tree","version":99,)"
+                     R"("num_modes":1,"internal":[[0,0,1,2]]})")),
+                 ParseError);
+
+    // Structural tree violations.
+    const char *bad_trees[] = {
+        // wrong internal count
+        R"({"format":"hatt-tree","version":1,"num_modes":2,)"
+        R"("internal":[[0,0,1,2]]})",
+        // duplicate children
+        R"({"format":"hatt-tree","version":1,"num_modes":1,)"
+        R"("internal":[[0,0,0,2]]})",
+        // child id out of range
+        R"({"format":"hatt-tree","version":1,"num_modes":1,)"
+        R"("internal":[[0,0,1,7]]})",
+        // child that does not exist yet
+        R"({"format":"hatt-tree","version":1,"num_modes":2,)"
+        R"("internal":[[0,0,1,6],[1,2,3,4]]})",
+        // reused child (already has a parent)
+        R"({"format":"hatt-tree","version":1,"num_modes":2,)"
+        R"("internal":[[0,0,1,2],[1,0,3,4]]})",
+        // duplicate qubit index across internal nodes
+        R"({"format":"hatt-tree","version":1,"num_modes":2,)"
+        R"("internal":[[0,0,1,2],[0,5,3,4]]})",
+        // malformed entry
+        R"({"format":"hatt-tree","version":1,"num_modes":1,)"
+        R"("internal":[[0,0,1]]})",
+    };
+    for (const char *doc : bad_trees)
+        EXPECT_THROW(io::treeFromJson(JsonValue::parse(doc)), ParseError)
+            << doc;
+
+    // Mapping violations: wrong term count, label garbage, label length.
+    MajoranaPolynomial poly = randomMajoranaPolynomial(3, 6, 3);
+    JsonValue good = io::mappingToJson(buildHattMapping(poly).mapping);
+    std::string text = good.dump(2);
+    EXPECT_NO_THROW(io::mappingFromJson(JsonValue::parse(text)));
+    {
+        std::string t = text;
+        t.replace(t.find("\"num_modes\": 3"), 14, "\"num_modes\": 4");
+        EXPECT_THROW(io::mappingFromJson(JsonValue::parse(t)),
+                     ParseError);
+    }
+    {
+        std::string t = text;
+        size_t p = t.find("\"pauli\": \"");
+        t[p + 10] = 'Q';
+        EXPECT_THROW(io::mappingFromJson(JsonValue::parse(t)),
+                     std::exception);
+    }
+
+    // Majorana: non-ascending indices must be rejected.
+    EXPECT_THROW(
+        io::majoranaFromJson(JsonValue::parse(
+            R"({"format":"hatt-majorana","version":1,"num_modes":2,)"
+            R"("terms":[{"coeff":[1,0],"indices":[2,1]}]})")),
+        ParseError);
+    EXPECT_THROW(
+        io::majoranaFromJson(JsonValue::parse(
+            R"({"format":"hatt-majorana","version":1,"num_modes":2,)"
+            R"("terms":[{"coeff":[1,0],"indices":[0,0]}]})")),
+        ParseError);
+    // ...and out-of-range indices.
+    EXPECT_THROW(
+        io::majoranaFromJson(JsonValue::parse(
+            R"({"format":"hatt-majorana","version":1,"num_modes":2,)"
+            R"("terms":[{"coeff":[1,0],"indices":[4]}]})")),
+        ParseError);
+}
+
+// ----------------------------------------------------------------- cache
+
+TEST(Cache, StoresAndRecoversMappingsByContentHash)
+{
+    fs::path dir = scratchDir("cache");
+    MajoranaPolynomial poly = MajoranaPolynomial::fromFermion(
+        hubbardModel({2, 2, 1.0, 4.0}));
+    uint64_t hash = io::majoranaContentHash(poly);
+    io::MappingCache cache(dir.string());
+
+    EXPECT_FALSE(cache.lookup(hash, "hatt").has_value());
+
+    HattResult res = buildHattMapping(poly);
+    cache.store(hash, "hatt", res.mapping, &res.tree);
+
+    auto hit = cache.lookup(hash, "hatt");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(stringsHash(hit->mapping), stringsHash(res.mapping));
+    ASSERT_TRUE(hit->tree.has_value());
+    EXPECT_EQ(hit->tree->numNodes(), res.tree.numNodes());
+
+    EXPECT_FALSE(cache.lookup(hash ^ 1, "hatt").has_value());
+    EXPECT_FALSE(cache.lookup(hash, "jw").has_value());
+
+    // Corrupt entries are loud, not silent misses.
+    {
+        std::ofstream os(cache.entryPath(hash, "hatt"),
+                         std::ios::trunc);
+        os << "{\"format\": \"hatt-cache\"";
+    }
+    EXPECT_THROW(cache.lookup(hash, "hatt"), ParseError);
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace hatt

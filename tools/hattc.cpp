@@ -1,0 +1,20 @@
+/**
+ * @file
+ * `hattc` — the HATT compiler driver. Thin wrapper over io/compiler so
+ * the whole parse -> preprocess -> map -> serialize pipeline is library
+ * code covered by the test suite; see `hattc` with no arguments for
+ * usage.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/compiler.hpp"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return hatt::io::runHattc(args, std::cout, std::cerr);
+}
