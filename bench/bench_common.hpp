@@ -11,6 +11,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <locale>
 #include <optional>
 #include <string>
 #include <vector>
@@ -73,6 +74,9 @@ class JsonReporter
                       << " for writing\n";
             return "";
         }
+        // JSON is C-locale text; a comma-decimal or grouping locale
+        // would corrupt the seconds/weight fields.
+        os.imbue(std::locale::classic());
         os << "{\n  \"benchmark\": \"" << benchmark_ << "\",\n"
            << "  \"records\": [\n";
         for (size_t i = 0; i < records_.size(); ++i) {

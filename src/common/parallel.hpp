@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace hatt {
@@ -272,7 +273,9 @@ parallelFor(size_t n, size_t grain, Body &&body)
  * Deterministic parallel reduction: @p chunk(lo, hi) maps each index range
  * to a partial result; partials are folded with @p combine in chunk index
  * order. With an associative @p combine the result is bit-identical for
- * every thread count.
+ * every thread count. Partials are MOVED into the fold, so heavy results
+ * (e.g. per-chunk PauliSum accumulators) merge without deep copies —
+ * @p combine may take its arguments by value and splice freely.
  */
 template <typename Result, typename ChunkFn, typename CombineFn>
 Result
@@ -291,9 +294,9 @@ parallelReduceChunks(size_t n, size_t grain, Result identity, ChunkFn &&chunk,
     };
     WorkPool::instance().dispatch(chunks, chunk_fn);
 
-    Result out = identity;
+    Result out = std::move(identity);
     for (size_t c = 0; c < chunks; ++c)
-        out = combine(out, partial[c]);
+        out = combine(std::move(out), std::move(partial[c]));
     return out;
 }
 

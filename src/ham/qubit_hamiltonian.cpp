@@ -1,24 +1,118 @@
 #include "ham/qubit_hamiltonian.hpp"
 
 #include <cassert>
+#include <utility>
+
+#include "common/parallel.hpp"
 
 namespace hatt {
+
+namespace {
+
+/**
+ * Map terms [lo, hi) into a fresh PauliSum. The product is folded
+ * in-place with the exact operation sequence of the historical serial
+ * loop (coeff * m.coeff, then * i^k), so coefficients are bit-identical
+ * to PauliTerm::multiply chains while skipping its per-step PauliString
+ * allocation.
+ */
+PauliSum
+mapChunk(const FermionQubitMapping &map, const MajoranaTerm *terms,
+         size_t lo, size_t hi)
+{
+    PauliSum out(map.numQubits);
+    for (size_t t = lo; t < hi; ++t) {
+        const MajoranaTerm &term = terms[t];
+        cplx coeff = term.coeff;
+        PauliString s(map.numQubits);
+        for (uint32_t mi : term.indices) {
+            assert(mi < map.majorana.size());
+            const PauliTerm &m = map.majorana[mi];
+            const int k = s.multiplyRight(m.string);
+            coeff *= m.coeff;
+            coeff *= phaseFromExponent(k);
+        }
+        out.add(PauliTerm{coeff, std::move(s)});
+    }
+    return out;
+}
+
+} // namespace
+
+QubitMappingEngine::QubitMappingEngine(const FermionQubitMapping &map)
+    : map_(&map), mapped_(map.numQubits)
+{
+}
+
+void
+QubitMappingEngine::add(const MajoranaTerm &term)
+{
+    pending_.push_back(term);
+    if (pending_.size() >= kFlushBatch)
+        flushPending();
+}
+
+void
+QubitMappingEngine::addBatch(const MajoranaTerm *terms, size_t count)
+{
+    // Preserve feed order when add() and addBatch() interleave: buffered
+    // terms must map before this batch.
+    flushPending();
+    mapBatch(terms, count);
+}
+
+void
+QubitMappingEngine::addBatch(const std::vector<MajoranaTerm> &terms)
+{
+    addBatch(terms.data(), terms.size());
+}
+
+void
+QubitMappingEngine::flushPending()
+{
+    if (pending_.empty())
+        return;
+    // Swap first: mapBatch must not read through pending_ while it is
+    // also the buffer being drained.
+    std::vector<MajoranaTerm> buffered;
+    buffered.swap(pending_);
+    mapBatch(buffered.data(), buffered.size());
+}
+
+void
+QubitMappingEngine::mapBatch(const MajoranaTerm *terms, size_t count)
+{
+    // Deterministic fan-out: the chunk decomposition is a pure function
+    // of (count, kStreamBatch), and the fold below visits chunks in
+    // index order, so the merged term order equals the serial scan for
+    // every thread count.
+    PauliSum batch = parallelReduceChunks(
+        count, kStreamBatch, PauliSum(map_->numQubits),
+        [&](size_t lo, size_t hi) { return mapChunk(*map_, terms, lo, hi); },
+        [](PauliSum out, PauliSum part) {
+            out.append(std::move(part));
+            return out;
+        });
+    mapped_.append(std::move(batch));
+}
+
+PauliSum
+QubitMappingEngine::finish(double tol)
+{
+    flushPending();
+    mapped_.compress(tol);
+    PauliSum out = std::move(mapped_);
+    mapped_ = PauliSum(map_->numQubits);
+    return out;
+}
 
 PauliSum
 mapToQubits(const MajoranaPolynomial &poly, const FermionQubitMapping &map)
 {
     assert(poly.numModes() == map.numModes);
-    PauliSum sum(map.numQubits);
-    for (const auto &term : poly.terms()) {
-        PauliTerm acc{term.coeff, PauliString(map.numQubits)};
-        for (uint32_t mi : term.indices) {
-            assert(mi < map.majorana.size());
-            acc = PauliTerm::multiply(acc, map.majorana[mi]);
-        }
-        sum.add(acc);
-    }
-    sum.compress();
-    return sum;
+    QubitMappingEngine engine(map);
+    engine.addBatch(poly.terms());
+    return engine.finish();
 }
 
 PauliSum

@@ -6,6 +6,14 @@
  * Applies a fermion-to-qubit mapping to a Majorana polynomial (or directly
  * to a fermionic Hamiltonian), producing the qubit Hamiltonian PauliSum
  * whose Pauli weight / circuit cost the paper evaluates.
+ *
+ * Compilation is the batched, deterministic parallel engine below: terms
+ * fan out over the work pool in fixed-size chunks, each chunk accumulates
+ * its mapped products into a private PauliSum, chunks merge in chunk index
+ * order, and one hash-based compress merges duplicate strings at the end.
+ * The chunk decomposition depends only on the term count — never on the
+ * thread count — so the output is bit-identical for every HATT_THREADS
+ * (including 1) and to the historical serial fold.
  */
 
 #include "fermion/fermion_op.hpp"
@@ -16,9 +24,65 @@
 namespace hatt {
 
 /**
+ * Streaming/batched qubit-Hamiltonian builder over a fixed mapping.
+ *
+ * Feed Majorana monomials with add() (buffered, flushed through the
+ * parallel engine in fixed batches) or addBatch() (mapped immediately);
+ * finish() performs the final hash-based compress and returns the sum.
+ * Term products are computed in-place (multiplyRight accumulating the
+ * phase exponent), so no intermediate PauliString allocations occur.
+ *
+ * The hattc driver (io/compiler.cpp) compiles through addBatch() over
+ * the streaming accumulator's deduplicated monomials; mapToQubits()
+ * below is the one-call wrapper. The engine borrows @p map — it must
+ * outlive the engine.
+ */
+class QubitMappingEngine
+{
+  public:
+    explicit QubitMappingEngine(const FermionQubitMapping &map);
+
+    /** Buffer one monomial; flushed in batches of kFlushBatch. */
+    void add(const MajoranaTerm &term);
+
+    /**
+     * Map @p count terms now, fanned out over the work pool. Buffered
+     * add() terms are flushed first, so the merged order always equals
+     * the feed order however add()/addBatch() calls interleave.
+     */
+    void addBatch(const MajoranaTerm *terms, size_t count);
+    void addBatch(const std::vector<MajoranaTerm> &terms);
+
+    /** Mapped (pre-compress) terms accumulated so far, pending included. */
+    size_t termsMapped() const { return mapped_.size() + pending_.size(); }
+
+    /**
+     * Flush, merge duplicate strings (|coeff| < tol dropped) and return
+     * the qubit Hamiltonian. The engine is left empty and reusable.
+     */
+    PauliSum finish(double tol = kCoeffTol);
+
+  private:
+    /** Parallel chunk grain (terms per work-pool chunk). */
+    static constexpr size_t kStreamBatch = 1024;
+    /** Streaming flush threshold: several chunks per flush, so add()
+        streams fan out instead of degenerating to one inline chunk. */
+    static constexpr size_t kFlushBatch = 8 * kStreamBatch;
+
+    void flushPending();
+    void mapBatch(const MajoranaTerm *terms, size_t count);
+
+    const FermionQubitMapping *map_;
+    std::vector<MajoranaTerm> pending_; //!< add() buffer, < kStreamBatch
+    PauliSum mapped_;                   //!< chunk-order merged products
+};
+
+/**
  * Map a Majorana polynomial through @p map: every monomial becomes the
  * phase-tracked product of the mapped Majorana strings. The result is
  * compressed (duplicates merged, near-zero coefficients dropped).
+ * Runs on the batched parallel engine; bit-identical for every thread
+ * count and to the serial fold.
  */
 PauliSum mapToQubits(const MajoranaPolynomial &poly,
                      const FermionQubitMapping &map);

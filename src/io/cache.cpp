@@ -38,21 +38,32 @@ MappingCache::lookup(uint64_t content_hash, const std::string &kind) const
     if (!fs::exists(path, ec))
         return std::nullopt;
 
-    JsonValue doc = loadJsonFile(path);
-    checkEnvelope(doc, "hatt-cache", kCacheVersion);
-    if (doc.at("content_hash").asString() != hashToHex(content_hash) ||
-        doc.at("kind").asString() != kind)
-        throw ParseError(path + ": cache entry key mismatch");
+    // A cache is an accelerator, never a correctness dependency: a
+    // truncated, corrupt, or key-mismatched entry (interrupted writer,
+    // bit rot, hash collision) is treated as a miss so the caller
+    // recomputes and overwrites it through the atomic tmp+rename path —
+    // it must not kill a whole batch run.
+    try {
+        JsonValue doc = loadJsonFile(path);
+        checkEnvelope(doc, "hatt-cache", kCacheVersion);
+        if (doc.at("content_hash").asString() != hashToHex(content_hash) ||
+            doc.at("kind").asString() != kind)
+            return std::nullopt;
 
-    CachedMapping hit;
-    hit.mapping = mappingFromJson(doc.at("mapping"));
-    if (const JsonValue *tree = doc.find("tree"))
-        hit.tree = treeFromJson(*tree);
-    if (const JsonValue *cand = doc.find("candidates"))
-        if (cand->isNumber())
-            hit.candidates = static_cast<uint64_t>(
-                cand->asInt(0, INT64_MAX));
-    return hit;
+        CachedMapping hit;
+        hit.mapping = mappingFromJson(doc.at("mapping"));
+        if (const JsonValue *tree = doc.find("tree"))
+            hit.tree = treeFromJson(*tree);
+        if (const JsonValue *cand = doc.find("candidates"))
+            if (cand->isNumber())
+                hit.candidates = static_cast<uint64_t>(
+                    cand->asInt(0, INT64_MAX));
+        return hit;
+    } catch (const std::exception &) {
+        // ParseError from the loader/validators, or std::invalid_argument
+        // from PauliString reconstruction on mangled labels.
+        return std::nullopt;
+    }
 }
 
 void

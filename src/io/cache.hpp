@@ -44,8 +44,9 @@ class MappingCache
 
     /**
      * Look up (hash, kind); returns nullopt when absent. A present but
-     * corrupt entry throws ParseError (callers may fall back to
-     * recomputing, but silent misses would mask real corruption).
+     * truncated/corrupt/key-mismatched entry is also a miss: callers
+     * recompute and the subsequent store() overwrites the bad file
+     * atomically, so one damaged entry cannot abort a batch run.
      */
     std::optional<CachedMapping> lookup(uint64_t content_hash,
                                         const std::string &kind) const;

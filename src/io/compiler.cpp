@@ -268,7 +268,13 @@ cmdMapOrCompile(const Options &opt, std::ostream &out)
     double map_seconds = 0.0;
     if (compile) {
         Timer timer;
-        PauliSum hq = mapToQubits(problem.poly, built.mapping);
+        // Engine batch entry point over the accumulator's deduplicated
+        // monomials (mapToQubits wraps exactly this; spelled out here so
+        // the shipped driver exercises — and the hattc tests pin — the
+        // engine API itself).
+        QubitMappingEngine engine(built.mapping);
+        engine.addBatch(problem.poly.terms());
+        PauliSum hq = engine.finish();
         map_seconds = timer.seconds();
         HamiltonianMetrics hm = hamiltonianMetrics(hq);
         pauli_weight = hm.pauliWeight;

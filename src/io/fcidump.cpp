@@ -1,10 +1,13 @@
 #include "io/fcidump.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <locale>
 #include <sstream>
+#include <system_error>
 
 #include "chem/transform.hpp"
 #include "io/json.hpp"
@@ -109,16 +112,45 @@ parseFcidump(std::istream &in)
         for (char &c : raw)
             if (c == 'D' || c == 'd')
                 c = 'e';
-        std::istringstream ls(raw);
-        double value;
-        long i, j, k, l;
-        if (!(ls >> value))
-            fail(line_no, "expected a numeric integral value");
-        if (!(ls >> i >> j >> k >> l))
-            fail(line_no, "expected 'value i j k l'");
-        std::string rest;
-        if (ls >> rest)
+
+        // Hand-tokenized + from_chars: stream extraction honors the
+        // global locale, so "0.5" would misparse under a comma-decimal
+        // numpunct. from_chars rejects the leading '+' Fortran writers
+        // may emit — parseDoubleToken handles it for the value; for the
+        // integer indices skip '+' only when a digit follows, so "+-1"
+        // stays a parse error as under stream extraction.
+        size_t pos = 0;
+        auto skipSpace = [&] {
+            while (pos < raw.size() &&
+                   (raw[pos] == ' ' || raw[pos] == '\t' || raw[pos] == '\r'))
+                ++pos;
+        };
+        skipSpace();
+        double value = 0.0;
+        {
+            const char *end = parseDoubleToken(
+                raw.data() + pos, raw.data() + raw.size(), value);
+            if (end == raw.data() + pos)
+                fail(line_no, "expected a numeric integral value");
+            pos = static_cast<size_t>(end - raw.data());
+        }
+        long idx[4];
+        for (long &v : idx) {
+            skipSpace();
+            size_t b = pos;
+            if (b + 1 < raw.size() && raw[b] == '+' &&
+                raw[b + 1] >= '0' && raw[b + 1] <= '9')
+                ++b;
+            auto [end, ec] = std::from_chars(
+                raw.data() + b, raw.data() + raw.size(), v);
+            if (ec != std::errc{} || end == raw.data() + b)
+                fail(line_no, "expected 'value i j k l'");
+            pos = static_cast<size_t>(end - raw.data());
+        }
+        skipSpace();
+        if (pos != raw.size())
             fail(line_no, "unexpected trailing characters");
+        const long i = idx[0], j = idx[1], k = idx[2], l = idx[3];
         if (!std::isfinite(value))
             fail(line_no, "non-finite integral value");
         if (i < 0 || j < 0 || k < 0 || l < 0 || i > norb || j > norb ||
@@ -173,6 +205,8 @@ loadFcidumpHamiltonian(const std::string &path)
 void
 writeFcidump(std::ostream &out, const MoIntegrals &mo, double tol)
 {
+    // FCIDUMP is C-locale text; block numpunct grouping ("NORB=1,024").
+    ClassicLocaleScope locale_scope(out);
     const size_t n = mo.numOrbitals;
     out << "&FCI NORB=" << n << ",NELEC=" << mo.numElectrons
         << ",MS2=0,\n  ORBSYM=";

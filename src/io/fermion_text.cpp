@@ -1,11 +1,14 @@
 #include "io/fermion_text.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <locale>
 #include <sstream>
+#include <system_error>
 
 namespace hatt::io {
 
@@ -44,14 +47,19 @@ cplx
 parseCoefficient(const std::string &s, size_t &pos, size_t line)
 {
     auto parseReal = [&](size_t &p) -> double {
-        const char *start = s.c_str() + p;
-        char *end = nullptr;
-        double v = std::strtod(start, &end);
-        if (end == start)
+        // Locale-independent: strtod honors LC_NUMERIC, so "1.5" would
+        // parse as 1 under a comma-decimal locale. parseDoubleToken
+        // keeps strtod's accepted syntax ('+' prefixes) and range
+        // semantics (underflow -> 0.0 accepted; overflow -> inf,
+        // rejected just below).
+        double v = 0.0;
+        const char *end =
+            parseDoubleToken(s.data() + p, s.data() + s.size(), v);
+        if (end == s.data() + p)
             fail(line, "expected a numeric coefficient");
         if (!std::isfinite(v))
             fail(line, "coefficient must be finite");
-        p += static_cast<size_t>(end - start);
+        p = static_cast<size_t>(end - s.data());
         return v;
     };
 
@@ -60,7 +68,8 @@ parseCoefficient(const std::string &s, size_t &pos, size_t line)
         double re = parseReal(pos);
         if (pos >= s.size() || (s[pos] != '+' && s[pos] != '-'))
             fail(line, "expected '+'/'-' in complex coefficient");
-        double im = parseReal(pos); // sign character consumed by strtod
+        double im = parseReal(pos); // sign consumed by from_chars ('+'
+                                    // skipped explicitly above)
         if (pos >= s.size() || s[pos] != 'j')
             fail(line, "expected 'j' in complex coefficient");
         ++pos;
@@ -209,6 +218,9 @@ void
 writeFermionText(std::ostream &out, const FermionHamiltonian &hf,
                  const std::string &comment)
 {
+    // The .ops format is C-locale text: a grouping locale would emit
+    // "modes 32,768".
+    ClassicLocaleScope locale_scope(out);
     if (!comment.empty())
         out << "# " << comment << "\n";
     out << "modes " << hf.numModes() << "\n";

@@ -1,10 +1,14 @@
 #include "io/json.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
+#include <system_error>
 
 namespace hatt::io {
 
@@ -281,10 +285,13 @@ class Parser
         }
         if (!digits)
             fail("invalid number");
-        std::string token = text_.substr(start, pos_ - start);
-        char *end = nullptr;
-        double v = std::strtod(token.c_str(), &end);
-        if (end != token.c_str() + token.size())
+        // Locale-independent (strtod honors LC_NUMERIC, so a comma-
+        // decimal locale would truncate "1.5" to 1) with strtod's range
+        // semantics kept: underflow -> 0, overflow -> inf.
+        double v = 0.0;
+        const char *tok = text_.data() + start;
+        const char *tok_end = text_.data() + pos_;
+        if (parseDoubleToken(tok, tok_end, v) != tok_end)
             fail("invalid number");
         return JsonValue(v);
     }
@@ -323,22 +330,87 @@ appendEscaped(std::string &out, const std::string &s)
 
 } // namespace
 
+const char *
+parseDoubleToken(const char *first, const char *last, double &out)
+{
+    // strtod accepted an explicit '+' sign, from_chars does not; honor
+    // it only when a number actually follows, so malformed sequences
+    // like "+-2" still fail instead of silently parsing as "-2".
+    const char *begin = first;
+    if (begin < last && *begin == '+' && begin + 1 < last &&
+        (*(begin + 1) == '.' ||
+         (*(begin + 1) >= '0' && *(begin + 1) <= '9')))
+        ++begin;
+    auto [end, ec] = std::from_chars(begin, last, out);
+    if (ec == std::errc{})
+        return end;
+    if (ec != std::errc::result_out_of_range || end == begin)
+        return first;
+    // from_chars consumed a grammatical number whose magnitude falls
+    // outside double's range and left `out` unmodified (libstdc++).
+    // Restore strtod's semantics — underflow rounds to signed zero,
+    // overflow saturates to signed infinity — by classifying the token:
+    // its value is d.ddd * 10^(lead + exp10) with `lead` the decimal
+    // exponent of the first significant digit.
+    const char *p = first;
+    const bool neg = *p == '-';
+    if (*p == '-' || *p == '+')
+        ++p;
+    const char *mant_end = p;
+    while (mant_end < end && *mant_end != 'e' && *mant_end != 'E')
+        ++mant_end;
+    long long exp10 = 0;
+    if (mant_end < end) {
+        const char *q = mant_end + 1;
+        bool eneg = false;
+        if (q < end && (*q == '+' || *q == '-')) {
+            eneg = *q == '-';
+            ++q;
+        }
+        for (; q < end && *q >= '0' && *q <= '9'; ++q)
+            exp10 = std::min<long long>(exp10 * 10 + (*q - '0'), 1000000);
+        if (eneg)
+            exp10 = -exp10;
+    }
+    const char *point = p;
+    while (point < mant_end && *point != '.')
+        ++point;
+    long long lead = 0;
+    bool significant = false;
+    for (const char *q = p; q < mant_end && !significant; ++q) {
+        if (*q == '.' || *q == '0')
+            continue;
+        lead = q < point ? (point - q) - 1 : -(q - point);
+        significant = true;
+    }
+    // (!significant would mean a zero significand, never out of range.)
+    const bool tiny = !significant || lead + exp10 < 0;
+    const double mag =
+        tiny ? 0.0 : std::numeric_limits<double>::infinity();
+    out = neg ? -mag : mag;
+    return end;
+}
+
 std::string
 jsonNumberToString(double value)
 {
     if (!std::isfinite(value))
         throw ParseError("cannot serialize non-finite number");
     // Integral values within the exact-double range print without a
-    // fraction; everything else uses 17 significant digits, which strtod
-    // round-trips bit-exactly.
-    if (value == std::floor(value) && std::abs(value) < 1e15) {
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.0f", value);
-        return buf;
-    }
+    // fraction; everything else uses 17 significant digits, which
+    // from_chars round-trips bit-exactly. to_chars always emits the C
+    // locale's '.' — snprintf("%.17g") honors LC_NUMERIC, so under a
+    // comma-decimal locale it would emit invalid JSON.
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
-    return buf;
+    std::to_chars_result r =
+        value == std::floor(value) && std::abs(value) < 1e15
+            ? std::to_chars(buf, buf + sizeof(buf), value,
+                            std::chars_format::fixed, 0)
+            : std::to_chars(buf, buf + sizeof(buf), value,
+                            std::chars_format::general, 17);
+    if (r.ec != std::errc{})
+        throw ParseError("cannot serialize number");
+    return std::string(buf, r.ptr);
 }
 
 bool

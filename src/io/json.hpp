@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <istream>
+#include <locale>
+#include <ostream>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -26,6 +28,28 @@ class ParseError : public std::runtime_error
     explicit ParseError(const std::string &what) : std::runtime_error(what)
     {
     }
+};
+
+/**
+ * Exception-safe classic-locale imbue for the C-locale text writers
+ * (.ops, FCIDUMP): a grouping/comma-decimal locale on the caller's
+ * stream would corrupt emitted numbers. Restores the previous locale on
+ * scope exit, including when a writer throws mid-document.
+ */
+class ClassicLocaleScope
+{
+  public:
+    explicit ClassicLocaleScope(std::ostream &os)
+        : os_(os), prev_(os.imbue(std::locale::classic()))
+    {
+    }
+    ~ClassicLocaleScope() { os_.imbue(prev_); }
+    ClassicLocaleScope(const ClassicLocaleScope &) = delete;
+    ClassicLocaleScope &operator=(const ClassicLocaleScope &) = delete;
+
+  private:
+    std::ostream &os_;
+    std::locale prev_;
 };
 
 /**
@@ -113,6 +137,20 @@ class JsonValue
 
 /** Render a double with round-trip (17 significant digit) precision. */
 std::string jsonNumberToString(double value);
+
+/**
+ * Parse a decimal-number prefix of [first, last) locale-independently
+ * via from_chars, with strtod's accepted syntax and range semantics
+ * restored: an explicit leading '+' is honored (only when a number
+ * follows, so "+-2" still fails), a magnitude too small for a double
+ * quietly underflows to (signed) zero instead of failing, and overflow
+ * parses to (signed) infinity — callers reject it via their isfinite
+ * checks with their own diagnostics.
+ * @return pointer one past the number, or @p first when no valid number
+ * starts there.
+ */
+const char *parseDoubleToken(const char *first, const char *last,
+                             double &out);
 
 } // namespace hatt::io
 

@@ -371,6 +371,44 @@ treeAssignmentWeight(const TernaryTree &tree,
     return eval.evaluate(leaf_of_majorana);
 }
 
+namespace {
+
+/**
+ * Advance @p perm to its lexicographic successor, mirroring every element
+ * move into @p eval as accepted position swaps so the returned weight is
+ * the successor's total. std::next_permutation is pivot-swap + suffix
+ * reversal — both are position-swap sequences, so DeltaWeightEvaluator
+ * re-scores only terms touching the moved labels instead of the full
+ * polynomial. @return false (perm untouched) at the last permutation.
+ */
+bool
+nextPermutationBySwaps(std::vector<int> &perm, DeltaWeightEvaluator &eval,
+                       uint64_t &weight)
+{
+    const size_t n = perm.size();
+    size_t i = n - 1;
+    while (i > 0 && perm[i - 1] >= perm[i])
+        --i;
+    if (i == 0)
+        return false; // fully descending: last permutation
+    --i; // pivot
+    size_t j = n - 1;
+    while (perm[j] <= perm[i])
+        --j;
+    auto swapAt = [&](size_t a, size_t b) {
+        weight = eval.proposeSwap(static_cast<uint32_t>(a),
+                                  static_cast<uint32_t>(b));
+        eval.acceptSwap();
+        std::swap(perm[a], perm[b]);
+    };
+    swapAt(i, j);
+    for (size_t lo = i + 1, hi = n - 1; lo < hi; ++lo, --hi)
+        swapAt(lo, hi);
+    return true;
+}
+
+} // namespace
+
 std::optional<SearchResult>
 exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes)
 {
@@ -378,40 +416,68 @@ exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes)
     if (n == 0 || n > max_modes)
         return std::nullopt;
 
-    ShapeEnumerator shapes;
-    uint64_t best = UINT64_MAX;
-    uint64_t evaluated = 0;
-    TernaryTree best_tree(n);
-    std::vector<int> best_assign;
-
     const uint32_t num_leaves = 2 * n + 1;
-    for (const Shape *shape : shapes.shapes(n)) {
-        TernaryTree tree = buildTreeFromShape(shape, n);
-        WeightEvaluator eval(tree, poly);
-        // Permute which leaf carries each of the 2N+1 labels; label 2N is
-        // the discarded string.
-        std::vector<int> perm(num_leaves);
-        std::iota(perm.begin(), perm.end(), 0);
-        do {
-            // leaf_of_majorana[i] = position of label i
-            std::vector<int> assign(num_leaves);
-            for (uint32_t pos = 0; pos < num_leaves; ++pos)
-                assign[perm[pos]] = static_cast<int>(pos);
-            assign.resize(2 * n);
-            uint64_t w = eval.evaluate(assign);
-            ++evaluated;
-            if (w < best) {
-                best = w;
-                best_tree = tree;
-                best_assign = assign;
+
+    // Enumerate shapes up front (the memoizing enumerator is not thread
+    // safe); the scan then fans out one chunk per shape. Chunks fold in
+    // chunk index order and the serial scan order is (shape, permutation)
+    // lexicographic, so the strict < below keeps the FIRST strict minimum
+    // of the whole walk — bit-exact with the historical serial search for
+    // every thread count.
+    ShapeEnumerator enumerator;
+    const std::vector<const Shape *> &shapes = enumerator.shapes(n);
+
+    struct ShapeBest
+    {
+        uint64_t weight = UINT64_MAX;
+        size_t shape = SIZE_MAX;         //!< shape ordinal of the minimum
+        std::vector<int> labels;         //!< perm snapshot at the minimum
+        uint64_t evaluated = 0;
+    };
+
+    ShapeBest best = parallelReduceChunks(
+        shapes.size(), 1, ShapeBest{},
+        [&](size_t lo, size_t hi) {
+            ShapeBest out;
+            for (size_t si = lo; si < hi; ++si) {
+                TernaryTree tree = buildTreeFromShape(shapes[si], n);
+                DeltaWeightEvaluator eval(tree, poly);
+                // Permute which leaf carries each of the 2N+1 labels;
+                // label 2N is the discarded string. perm[pos] = label.
+                std::vector<int> perm(num_leaves);
+                std::iota(perm.begin(), perm.end(), 0);
+                uint64_t w = eval.reset(perm);
+                do {
+                    ++out.evaluated;
+                    if (w < out.weight) {
+                        out.weight = w;
+                        out.shape = si;
+                        out.labels = perm;
+                    }
+                } while (nextPermutationBySwaps(perm, eval, w));
             }
-        } while (std::next_permutation(perm.begin(), perm.end()));
-    }
+            return out;
+        },
+        [](ShapeBest acc, ShapeBest part) {
+            // Chunk order == shape order: strict < keeps the earliest.
+            if (part.weight < acc.weight) {
+                part.evaluated += acc.evaluated;
+                return part;
+            }
+            acc.evaluated += part.evaluated;
+            return acc;
+        });
+
+    TernaryTree best_tree = buildTreeFromShape(shapes[best.shape], n);
+    std::vector<int> assign(num_leaves);
+    for (uint32_t pos = 0; pos < num_leaves; ++pos)
+        assign[best.labels[pos]] = static_cast<int>(pos);
+    assign.resize(2 * n);
 
     SearchResult res;
-    res.mapping = mappingFromAssignment(best_tree, best_assign, "FH*");
-    res.weight = best;
-    res.evaluated = evaluated;
+    res.mapping = mappingFromAssignment(best_tree, assign, "FH*");
+    res.weight = best.weight;
+    res.evaluated = best.evaluated;
     return res;
 }
 

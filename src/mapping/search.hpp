@@ -89,6 +89,13 @@ uint64_t treeAssignmentWeight(const TernaryTree &tree,
  * Exact minimum over all complete ternary trees x leaf assignments.
  * Returns nullopt when poly.numModes() > max_modes (cost explodes as
  * (#trees) * (2N+1)!).
+ *
+ * The walk fans out shape-by-shape over the work pool and steps through
+ * each shape's next_permutation sequence as DeltaWeightEvaluator position
+ * swaps (pivot swap + suffix-reversal swaps), re-scoring only terms that
+ * touch a moved label. Chunks fold in shape order with a strict <, so the
+ * first-strict-minimum tie-break is bit-identical to the historical
+ * serial scan for every HATT_THREADS value.
  */
 std::optional<SearchResult>
 exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes = 3);

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "common/linalg.hpp"
 
@@ -27,24 +28,69 @@ PauliSum::add(const PauliTerm &term)
 }
 
 void
+PauliSum::add(PauliTerm &&term)
+{
+    assert(num_qubits_ == 0 || term.string.numQubits() == num_qubits_);
+    if (num_qubits_ == 0)
+        num_qubits_ = term.string.numQubits();
+    terms_.push_back(std::move(term));
+}
+
+void
 PauliSum::add(cplx coeff, const PauliString &string)
 {
     add(PauliTerm{coeff, string});
 }
 
 void
+PauliSum::append(PauliSum &&other)
+{
+    if (other.terms_.empty())
+        return;
+    assert(num_qubits_ == 0 || other.num_qubits_ == 0 ||
+           num_qubits_ == other.num_qubits_);
+    if (num_qubits_ == 0)
+        num_qubits_ = other.num_qubits_;
+    if (terms_.empty()) {
+        terms_ = std::move(other.terms_);
+    } else {
+        terms_.reserve(terms_.size() + other.terms_.size());
+        for (PauliTerm &t : other.terms_)
+            terms_.push_back(std::move(t));
+    }
+    other.terms_.clear();
+}
+
+void
 PauliSum::compress(double tol)
 {
-    std::unordered_map<PauliString, size_t, PauliStringHash> index;
+    // Open-addressing probe table over indices into the merged vector
+    // (slot value = index + 1, 0 = empty). Compared with the previous
+    // unordered_map<PauliString, size_t> this stores every string once
+    // (in the term itself), performs no node allocations, and the two
+    // flat arrays it walks stay cache-resident — compress() sits on the
+    // qubit-mapping hot path, so the rebuild cost per call matters.
     std::vector<PauliTerm> merged;
     merged.reserve(terms_.size());
-    for (const auto &t : terms_) {
-        auto it = index.find(t.string);
-        if (it == index.end()) {
-            index.emplace(t.string, merged.size());
-            merged.push_back(t);
-        } else {
-            merged[it->second].coeff += t.coeff;
+    size_t cap = 16;
+    while (cap < 2 * terms_.size())
+        cap <<= 1;
+    std::vector<uint32_t> slots(cap, 0);
+    const size_t mask = cap - 1;
+    for (auto &t : terms_) {
+        size_t h = t.string.hashValue() & mask;
+        for (;;) {
+            const uint32_t slot = slots[h];
+            if (slot == 0) {
+                slots[h] = static_cast<uint32_t>(merged.size() + 1);
+                merged.push_back(std::move(t));
+                break;
+            }
+            if (merged[slot - 1].string == t.string) {
+                merged[slot - 1].coeff += t.coeff;
+                break;
+            }
+            h = (h + 1) & mask;
         }
     }
     merged.erase(std::remove_if(merged.begin(), merged.end(),
@@ -101,6 +147,28 @@ PauliSum::normalizedTracePower(int k) const
 {
     if (k < 1 || k > 4)
         throw std::invalid_argument("normalizedTracePower: k must be 1..4");
+
+    // The k >= 2 cases below pair terms by literal string equality and so
+    // assume every string appears once (k=2 would sum c_i^2 and miss the
+    // 2 c_i c_j cross terms of a duplicated string). Merge duplicates
+    // into a scratch copy first; tol=0 keeps exact cancellations too.
+    // (A colliding hash without a true duplicate only costs a redundant
+    // compress, never a wrong answer.)
+    if (k >= 2) {
+        std::unordered_map<size_t, size_t> seen;
+        seen.reserve(terms_.size());
+        for (const auto &t : terms_)
+            if (++seen[t.string.hashValue()] > 1) {
+                PauliSum scratch = *this;
+                scratch.compress(0.0);
+                // Only recurse when something truly merged, so distinct
+                // strings sharing a hash cannot loop; the recursion then
+                // operates on a strictly smaller, duplicate-free sum.
+                if (scratch.size() != terms_.size())
+                    return scratch.normalizedTracePower(k);
+                break;
+            }
+    }
 
     const size_t n = terms_.size();
     cplx acc{};

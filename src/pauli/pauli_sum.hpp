@@ -42,14 +42,25 @@ class PauliSum
     uint32_t numQubits() const { return num_qubits_; }
 
     void add(const PauliTerm &term);
+    void add(PauliTerm &&term); //!< moves the string (engine hot path)
     void add(cplx coeff, const PauliString &string);
+
+    /**
+     * Splice @p other's terms onto the end of this sum (no merging),
+     * leaving @p other empty. The deterministic chunk-order merge of the
+     * batched mapping engine is built on this: appending per-chunk sums
+     * in chunk index order reproduces the serial term order exactly.
+     */
+    void append(PauliSum &&other);
 
     const std::vector<PauliTerm> &terms() const { return terms_; }
     size_t size() const { return terms_.size(); }
 
     /**
      * Merge duplicate strings and drop terms with |coeff| < tol.
-     * Resulting order is deterministic (first-seen order).
+     * Resulting order is deterministic (first-seen order); coefficients
+     * of equal strings accumulate in term order. Implemented over an
+     * open-addressing index (no per-call unordered_map rebuild).
      */
     void compress(double tol = kCoeffTol);
 
@@ -72,6 +83,8 @@ class PauliSum
      * tr(H^k) / 2^N for k in {1,2,3,4}, computed symbolically via Pauli
      * algebra (tr(S) = 0 unless S = I). A mapping-independent spectral
      * invariant used to cross-validate different fermion-to-qubit mappings.
+     * Correct on uncompressed sums too: duplicate strings are merged into
+     * a scratch copy before the pairing algebra runs.
      */
     cplx normalizedTracePower(int k) const;
 

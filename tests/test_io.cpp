@@ -12,9 +12,12 @@
 
 #include <unistd.h>
 
+#include <clocale>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <locale>
 #include <sstream>
 
 #include "fermion/majorana.hpp"
@@ -139,6 +142,23 @@ TEST(Json, RejectsMalformedDocuments)
     }
 }
 
+TEST(Json, RangeSemanticsMatchStrtod)
+{
+    // Out-of-range magnitudes keep the historical strtod behavior:
+    // underflow is signed zero, overflow saturates to infinity (which
+    // jsonNumberToString refuses to re-serialize). Values near the
+    // denormal boundary still parse exactly.
+    EXPECT_EQ(JsonValue::parse("1e-999").asNumber(), 0.0);
+    EXPECT_TRUE(std::signbit(JsonValue::parse("-1e-999").asNumber()));
+    EXPECT_TRUE(std::isinf(JsonValue::parse("1e999").asNumber()));
+    EXPECT_LT(JsonValue::parse("-1e999").asNumber(), 0.0);
+    EXPECT_EQ(JsonValue::parse("4.9406564584124654e-324").asNumber(),
+              4.9406564584124654e-324);
+    EXPECT_THROW(io::jsonNumberToString(
+                     JsonValue::parse("1e999").asNumber()),
+                 ParseError);
+}
+
 TEST(Json, RejectsAbsurdNesting)
 {
     std::string deep(1000, '[');
@@ -168,6 +188,23 @@ TEST(FermionText, ParsesTermsAndHeader)
     EXPECT_EQ(hf.terms()[2].coeff, cplx(0.5, -0.25));
     ASSERT_EQ(hf.terms()[2].ops.size(), 4u);
     EXPECT_EQ(hf.terms()[2].ops[0], create(4));
+}
+
+TEST(FermionText, RangeSemanticsMatchStrtod)
+{
+    // Underflowing coefficients quietly become (signed) zero, exactly as
+    // the historical strtod-based parser accepted them; overflow stays a
+    // hard error (covered in RejectsMalformedInput). '+' prefixes parse.
+    std::istringstream in("1e-999 [0]\n"
+                          "-1e-999 [1]\n"
+                          "+2.5 [0^ 1]\n"
+                          "(+0.5+1e-999j) [1]\n");
+    FermionHamiltonian hf = io::parseFermionText(in);
+    ASSERT_EQ(hf.size(), 4u);
+    EXPECT_EQ(hf.terms()[0].coeff, cplx(0.0, 0.0));
+    EXPECT_EQ(hf.terms()[1].coeff, cplx(-0.0, 0.0));
+    EXPECT_EQ(hf.terms()[2].coeff, cplx(2.5, 0.0));
+    EXPECT_EQ(hf.terms()[3].coeff, cplx(0.5, 0.0));
 }
 
 TEST(FermionText, InfersModesWhenUndeclared)
@@ -225,6 +262,8 @@ TEST(FermionText, RejectsMalformedInput)
         "modes four\n",          // non-numeric header
         "inf [0]",               // non-finite coefficient
         "1e999 [0]",             // overflowing coefficient
+        "+-2 [0]",               // double sign
+        "(1.5+-0.25j) [0]",      // double sign in imaginary part
     };
     for (const char *doc : bad_docs) {
         std::istringstream in(doc);
@@ -284,6 +323,21 @@ TEST(Fcidump, AcceptsFortranDExponents)
     EXPECT_EQ(mo.coreEnergy, 0.75);
 }
 
+TEST(Fcidump, AcceptsPlusPrefixesAndUnderflow)
+{
+    // Fortran writers may emit '+' on values and indices; both parsed
+    // under the old stream extraction and must keep parsing. A sub-
+    // denormal integral underflows to zero, as strtod-family readers do.
+    std::istringstream in("&FCI NORB=2,NELEC=2, &END\n"
+                          " +0.5 +1 +1 +1 +1\n"
+                          " 1e-999 2 1 2 1\n"
+                          " +7.5D-1 0 0 0 0\n");
+    MoIntegrals mo = io::parseFcidump(in);
+    EXPECT_EQ(mo.twoBody.at(0, 0, 0, 0), 0.5);
+    EXPECT_EQ(mo.twoBody.at(1, 0, 1, 0), 0.0);
+    EXPECT_EQ(mo.coreEnergy, 0.75);
+}
+
 TEST(Fcidump, RejectsMalformedInput)
 {
     const char *bad_docs[] = {
@@ -298,6 +352,8 @@ TEST(Fcidump, RejectsMalformedInput)
         "&FCI NORB=2,NELEC=2, &END\n 0.5 1 0 1 1\n", // mixed zero indices
         "&FCI NORB=2,NELEC=2, &END\n x 1 1 1 1\n",   // non-numeric value
         "&FCI NORB=2,NELEC=2, &END\n 0.5 1 1 1 1 9\n", // trailing junk
+        "&FCI NORB=2,NELEC=2, &END\n +-0.5 1 1 1 1\n", // double sign
+        "&FCI NORB=2,NELEC=2, &END\n 0.5 +-1 1 1 1\n", // double-sign index
     };
     for (const char *doc : bad_docs) {
         std::istringstream in(doc);
@@ -324,6 +380,136 @@ TEST(Fcidump, WriteParseRoundTripIsExact)
                     EXPECT_EQ(back.twoBody.at(i, j, k, l),
                               mo.twoBody.at(i, j, k, l));
         }
+}
+
+// ---------------------------------------------------- locale independence
+
+/**
+ * Force a comma-decimal, dot-grouping numeric environment: a custom
+ * numpunct installed as the global C++ locale (streams imbue it at
+ * construction) plus, when the host has one generated, a real
+ * comma-decimal C locale for LC_NUMERIC (strtod/snprintf). Restores
+ * both on destruction.
+ */
+class CommaLocaleGuard
+{
+    struct CommaNumpunct : std::numpunct<char>
+    {
+        char do_decimal_point() const override { return ','; }
+        char do_thousands_sep() const override { return '.'; }
+        std::string do_grouping() const override { return "\3"; }
+    };
+
+  public:
+    CommaLocaleGuard()
+        : prev_global_(std::locale::global(
+              std::locale(std::locale::classic(), new CommaNumpunct)))
+    {
+        for (const char *name :
+             {"de_DE.UTF-8", "fr_FR.UTF-8", "de_DE", "fr_FR",
+              "nl_NL.UTF-8"})
+            if (std::setlocale(LC_NUMERIC, name)) {
+                c_side_active_ = true;
+                break;
+            }
+    }
+
+    ~CommaLocaleGuard()
+    {
+        std::setlocale(LC_NUMERIC, "C");
+        std::locale::global(prev_global_);
+    }
+
+    bool cSideActive() const { return c_side_active_; }
+
+  private:
+    std::locale prev_global_;
+    bool c_side_active_ = false;
+};
+
+TEST(Locale, NumberIoSurvivesCommaDecimalLocale)
+{
+    CommaLocaleGuard guard;
+
+    // Prove the hostile locale is really in force for freshly
+    // constructed streams — this is what the parsers/writers must defeat.
+    {
+        std::ostringstream probe;
+        probe << 0.5 << " " << 32768;
+        EXPECT_EQ(probe.str(), "0,5 32.768");
+    }
+    if (guard.cSideActive()) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f", 0.5);
+        EXPECT_STREQ(buf, "0,5");
+    }
+
+    // JSON: serialization emits '.'-decimals and parsing accepts them,
+    // bit-exactly, regardless of locale.
+    {
+        JsonValue doc = JsonValue::object();
+        doc.add("pi", 3.141592653589793);
+        doc.add("tiny", 4.9406564584124654e-324);
+        doc.add("big", 1.5e16);
+        std::string text = doc.dump();
+        // '.'-decimal renderings, never "3,1415..." (JSON's own object
+        // separators are commas, so check the numbers specifically).
+        EXPECT_NE(text.find("3.1415926535897931"), std::string::npos)
+            << text;
+        EXPECT_NE(text.find("4.9406564584124654e-324"), std::string::npos)
+            << text;
+        JsonValue back = JsonValue::parse(text);
+        EXPECT_EQ(back.at("pi").asNumber(), 3.141592653589793);
+        EXPECT_EQ(back.at("tiny").asNumber(), 4.9406564584124654e-324);
+        EXPECT_EQ(back.at("big").asNumber(), 1.5e16);
+    }
+
+    // .ops: fractional and complex coefficients round-trip exactly.
+    {
+        std::istringstream in("modes 3\n"
+                              "1.5 [0^ 1]\n"
+                              "-2.5e-3 [2]\n"
+                              "(0.5-0.25j) [1^ 2^ 1 2]\n");
+        FermionHamiltonian hf = io::parseFermionText(in);
+        ASSERT_EQ(hf.size(), 3u);
+        EXPECT_EQ(hf.terms()[0].coeff, cplx(1.5, 0.0));
+        EXPECT_EQ(hf.terms()[1].coeff, cplx(-2.5e-3, 0.0));
+        EXPECT_EQ(hf.terms()[2].coeff, cplx(0.5, -0.25));
+
+        std::ostringstream os;
+        io::writeFermionText(os, hf, "comma locale");
+        EXPECT_EQ(os.str().find(','), std::string::npos) << os.str();
+        std::istringstream back_in(os.str());
+        FermionHamiltonian back = io::parseFermionText(back_in);
+        ASSERT_EQ(back.size(), hf.size());
+        for (size_t i = 0; i < hf.size(); ++i)
+            EXPECT_EQ(back.terms()[i].coeff, hf.terms()[i].coeff);
+    }
+
+    // FCIDUMP: '.'-decimal and Fortran D-exponent values parse exactly;
+    // the writer never emits grouped integers or comma decimals.
+    {
+        std::istringstream in("&FCI NORB=2,NELEC=2, &END\n"
+                              " 0.5 1 1 1 1\n"
+                              " 6.25D-02 2 1 2 1\n"
+                              " -1.25 1 1 0 0\n"
+                              " 0.75 0 0 0 0\n");
+        MoIntegrals mo = io::parseFcidump(in);
+        EXPECT_EQ(mo.twoBody.at(0, 0, 0, 0), 0.5);
+        EXPECT_EQ(mo.twoBody.at(1, 0, 1, 0), 0.0625);
+        EXPECT_EQ(mo.oneBody(0, 0), -1.25);
+        EXPECT_EQ(mo.coreEnergy, 0.75);
+
+        std::ostringstream os;
+        io::writeFcidump(os, mo);
+        EXPECT_EQ(os.str().find(','), os.str().find(",NELEC"))
+            << os.str(); // only the namelist's literal commas
+        std::istringstream back_in(os.str());
+        MoIntegrals back = io::parseFcidump(back_in);
+        EXPECT_EQ(back.coreEnergy, mo.coreEnergy);
+        EXPECT_EQ(back.oneBody(0, 0), mo.oneBody(0, 0));
+        EXPECT_EQ(back.twoBody.at(1, 0, 1, 0), mo.twoBody.at(1, 0, 1, 0));
+    }
 }
 
 // ----------------------------------------------- streaming preprocessing
@@ -589,14 +775,56 @@ TEST(Cache, StoresAndRecoversMappingsByContentHash)
 
     EXPECT_FALSE(cache.lookup(hash ^ 1, "hatt").has_value());
     EXPECT_FALSE(cache.lookup(hash, "jw").has_value());
+    fs::remove_all(dir);
+}
 
-    // Corrupt entries are loud, not silent misses.
+TEST(Cache, CorruptEntriesAreMissesAndGetOverwritten)
+{
+    fs::path dir = scratchDir("cache_corrupt");
+    MajoranaPolynomial poly = MajoranaPolynomial::fromFermion(
+        hubbardModel({2, 2, 1.0, 4.0}));
+    uint64_t hash = io::majoranaContentHash(poly);
+    io::MappingCache cache(dir.string());
+
+    HattResult res = buildHattMapping(poly);
+    cache.store(hash, "hatt", res.mapping, &res.tree);
+    const std::string entry = cache.entryPath(hash, "hatt");
+
+    // Truncate the entry mid-document, as an interrupted writer (or a
+    // torn copy) would leave it: must be a miss, not a ParseError that
+    // kills a whole `hattc --cache` batch.
     {
-        std::ofstream os(cache.entryPath(hash, "hatt"),
-                         std::ios::trunc);
+        std::ofstream os(entry, std::ios::trunc);
         os << "{\"format\": \"hatt-cache\"";
     }
-    EXPECT_THROW(cache.lookup(hash, "hatt"), ParseError);
+    EXPECT_FALSE(cache.lookup(hash, "hatt").has_value());
+
+    // Recompute-and-store overwrites the damaged file; lookups hit again.
+    cache.store(hash, "hatt", res.mapping, &res.tree);
+    auto hit = cache.lookup(hash, "hatt");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(stringsHash(hit->mapping), stringsHash(res.mapping));
+
+    // A syntactically valid entry whose key fields disagree with its
+    // file name (e.g. a hand-copied file) is likewise a miss.
+    {
+        io::JsonValue doc = io::loadJsonFile(entry);
+        std::string text = doc.dump(2);
+        const std::string hex = io::hashToHex(hash);
+        size_t p = text.find(hex);
+        ASSERT_NE(p, std::string::npos);
+        text[p] = text[p] == '0' ? '1' : '0';
+        std::ofstream os(entry, std::ios::trunc);
+        os << text;
+    }
+    EXPECT_FALSE(cache.lookup(hash, "hatt").has_value());
+
+    // Garbage that parses as JSON but not as a mapping: miss, not crash.
+    {
+        std::ofstream os(entry, std::ios::trunc);
+        os << "{\"format\": \"hatt-cache\", \"version\": 1}";
+    }
+    EXPECT_FALSE(cache.lookup(hash, "hatt").has_value());
     fs::remove_all(dir);
 }
 

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "common/linalg.hpp"
 #include "common/rng.hpp"
 #include "pauli/pauli_sum.hpp"
@@ -75,6 +77,72 @@ TEST(PauliSum, TracePowersMatchDense)
                 acc = acc.multiply(m);
         }
     }
+}
+
+TEST(PauliSum, TracePowersCorrectOnUncompressedDuplicates)
+{
+    // Regression: with duplicate strings present, k=2 used to sum c_i^2
+    // per stored term and miss the 2 c_i c_j cross terms (k=3/4 paired
+    // literal strings likewise); an uncompressed sum must agree with its
+    // compressed copy and with the dense trace.
+    PauliSum sum(2);
+    sum.add(cplx{0.75, 0.0}, PauliString::fromLabel("XZ"));
+    sum.add(cplx{0.5, 0.0}, PauliString::fromLabel("ZY"));
+    sum.add(cplx{1.25, 0.0}, PauliString::fromLabel("XZ")); // duplicate
+    sum.add(cplx{-0.5, 0.0}, PauliString::fromLabel("II"));
+    sum.add(cplx{0.25, 0.0}, PauliString::fromLabel("ZY")); // duplicate
+
+    PauliSum compressed = sum;
+    compressed.compress();
+    ASSERT_EQ(compressed.size(), 3u);
+
+    ComplexMatrix m = sum.toMatrix();
+    const double dim = static_cast<double>(m.rows());
+    ComplexMatrix acc = m;
+    for (int k = 1; k <= 4; ++k) {
+        cplx raw = sum.normalizedTracePower(k);
+        cplx merged = compressed.normalizedTracePower(k);
+        cplx dense = acc.trace() / dim;
+        EXPECT_NEAR(std::abs(raw - dense), 0.0, 1e-12) << "k=" << k;
+        EXPECT_NEAR(std::abs(raw - merged), 0.0, 1e-12) << "k=" << k;
+        if (k < 4)
+            acc = acc.multiply(m);
+    }
+
+    // k=2 by hand: (0.75+1.25)^2 + (0.5+0.25)^2 + (-0.5)^2 = 4.8125.
+    EXPECT_NEAR(sum.normalizedTracePower(2).real(), 4.8125, 1e-12);
+
+    // Duplicates that cancel exactly must contribute nothing.
+    PauliSum cancel(1);
+    cancel.add(cplx{1.0, 0.0}, PauliString::fromLabel("X"));
+    cancel.add(cplx{-1.0, 0.0}, PauliString::fromLabel("X"));
+    cancel.add(cplx{2.0, 0.0}, PauliString::fromLabel("Z"));
+    EXPECT_NEAR(cancel.normalizedTracePower(2).real(), 4.0, 1e-12);
+}
+
+TEST(PauliSum, AppendSplicesTermsInOrder)
+{
+    PauliSum a(2);
+    a.add(cplx{1.0, 0.0}, PauliString::fromLabel("XZ"));
+    PauliSum b(2);
+    b.add(cplx{2.0, 0.0}, PauliString::fromLabel("ZZ"));
+    b.add(cplx{3.0, 0.0}, PauliString::fromLabel("XZ"));
+    a.append(std::move(b));
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.terms()[1].string.toString(), "ZZ");
+    EXPECT_EQ(a.terms()[2].string.toString(), "XZ");
+
+    // Into an empty sum: adopts terms and qubit count.
+    PauliSum c;
+    PauliSum d(2);
+    d.add(cplx{1.0, 0.0}, PauliString::fromLabel("YY"));
+    c.append(std::move(d));
+    EXPECT_EQ(c.numQubits(), 2u);
+    ASSERT_EQ(c.size(), 1u);
+
+    a.compress();
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_NEAR(a.terms()[0].coeff.real(), 4.0, 1e-12);
 }
 
 TEST(PauliSum, MatrixIsHermitianForRealCoefficients)

@@ -22,8 +22,12 @@
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "ham/qubit_hamiltonian.hpp"
+#include "mapping/balanced_tree.hpp"
+#include "mapping/bravyi_kitaev.hpp"
 #include "mapping/hatt.hpp"
 #include "mapping/hatt_counts.hpp"
+#include "mapping/jordan_wigner.hpp"
 #include "mapping/search.hpp"
 #include "models/chains.hpp"
 #include "models/hubbard.hpp"
@@ -210,6 +214,30 @@ stringsHash(const FermionQubitMapping &map)
             h ^= static_cast<unsigned char>(c);
             h *= 1099511628211ull;
         }
+    return h;
+}
+
+/** FNV-1a over term order, coefficient bit patterns and string forms —
+    any reordering, re-association of a coefficient sum, or string change
+    in a mapped Hamiltonian flips it. */
+uint64_t
+sumHash(const PauliSum &sum)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix_bytes = [&](const void *p, size_t n) {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 1099511628211ull;
+        }
+    };
+    for (const PauliTerm &t : sum.terms()) {
+        double re = t.coeff.real(), im = t.coeff.imag();
+        mix_bytes(&re, sizeof(re));
+        mix_bytes(&im, sizeof(im));
+        std::string s = t.string.toString();
+        mix_bytes(s.data(), s.size());
+    }
     return h;
 }
 
@@ -425,6 +453,118 @@ TEST(PerfParity, ResultsIdenticalAcrossThreadCounts)
     for (size_t i = 0; i < s1.mapping.majorana.size(); ++i)
         EXPECT_EQ(s1.mapping.majorana[i].string,
                   s4.mapping.majorana[i].string);
+}
+
+TEST(PerfParity, BatchMappingBitIdenticalAcrossThreadsAndToSerialSeed)
+{
+    // Recorded from the serial mapToQubits fold (pre-engine), 2026-07:
+    // FNV over (coeff bits, string) in term order. The batched engine
+    // must reproduce them for every thread count.
+    struct Case
+    {
+        const char *name;
+        size_t terms;
+        uint64_t weight, hash;
+    };
+    const Case cases[] = {
+        {"hub22/HATT", 29, 76, 1471160324954237459ull},
+        {"hub23/HATT", 47, 135, 11577326214939731686ull},
+        {"chain12/BTT", 24, 72, 9163729825062424225ull},
+        {"rand6/JW", 14, 42, 10860057066747007876ull},
+        {"rand6/BK", 14, 46, 15276335327018491142ull},
+    };
+    MajoranaPolynomial hub22 = MajoranaPolynomial::fromFermion(
+        hubbardModel({2, 2, 1.0, 4.0}));
+    MajoranaPolynomial hub23 = MajoranaPolynomial::fromFermion(
+        hubbardModel({2, 3, 1.0, 4.0}));
+    MajoranaPolynomial chain12 = majoranaChain(12);
+    MajoranaPolynomial rand6 = randomMajoranaPolynomial(6, 14, 1);
+    auto problem = [&](const std::string &name)
+        -> std::pair<const MajoranaPolynomial *, FermionQubitMapping> {
+        if (name == "hub22/HATT")
+            return {&hub22, buildHattMapping(hub22).mapping};
+        if (name == "hub23/HATT")
+            return {&hub23, buildHattMapping(hub23).mapping};
+        if (name == "chain12/BTT")
+            return {&chain12, balancedTernaryTreeMapping(12)};
+        if (name == "rand6/JW")
+            return {&rand6, jordanWignerMapping(6)};
+        return {&rand6, bravyiKitaevMapping(6)};
+    };
+
+    for (const Case &c : cases) {
+        auto [poly, map] = problem(c.name);
+        for (unsigned threads : {1u, 2u, 8u}) {
+            setParallelThreads(threads);
+            PauliSum hq = mapToQubits(*poly, map);
+            EXPECT_EQ(hq.size(), c.terms)
+                << c.name << " threads=" << threads;
+            EXPECT_EQ(hq.pauliWeight(), c.weight)
+                << c.name << " threads=" << threads;
+            EXPECT_EQ(sumHash(hq), c.hash)
+                << c.name << " threads=" << threads;
+
+            // The streaming entry point (one term at a time through the
+            // engine) must agree with the one-shot batch exactly.
+            QubitMappingEngine engine(map);
+            for (const MajoranaTerm &t : poly->terms())
+                engine.add(t);
+            EXPECT_EQ(sumHash(engine.finish()), c.hash)
+                << c.name << " threads=" << threads;
+
+            // Interleaving add() and addBatch() must preserve feed
+            // order: buffered terms flush before the batch maps.
+            QubitMappingEngine mixed(map);
+            const auto &terms = poly->terms();
+            const size_t head = terms.size() / 3;
+            for (size_t t = 0; t < head; ++t)
+                mixed.add(terms[t]);
+            mixed.addBatch(terms.data() + head, terms.size() - head);
+            EXPECT_EQ(sumHash(mixed.finish()), c.hash)
+                << c.name << " threads=" << threads;
+        }
+        setParallelThreads(0);
+    }
+}
+
+TEST(PerfParity, ExhaustiveSearchBitIdenticalAcrossThreadsAndToSerialSeed)
+{
+    // Recorded from the serial exhaustiveTreeSearch (full WeightEvaluator
+    // per permutation, pre-fan-out), 2026-07. The parallel delta-walk
+    // must reproduce weight, candidate count, and the first-strict-
+    // minimum winner for every thread count.
+    struct Case
+    {
+        const char *name;
+        uint64_t weight, evaluated, strhash;
+    };
+    const Case cases[] = {
+        {"rand3", 10, 60480, 13040671004769807172ull},
+        {"chain3", 11, 60480, 6512608034965880247ull},
+        {"rand2", 1, 360, 4844266751097107073ull},
+    };
+    auto build = [](const std::string &name) -> MajoranaPolynomial {
+        if (name == "rand3")
+            return randomMajoranaPolynomial(3, 8, 42);
+        if (name == "chain3")
+            return majoranaChain(3);
+        return randomMajoranaPolynomial(2, 6, 5); // rand2
+    };
+    for (const Case &c : cases) {
+        MajoranaPolynomial poly = build(c.name);
+        for (unsigned threads : {1u, 2u, 8u}) {
+            setParallelThreads(threads);
+            auto res = exhaustiveTreeSearch(poly, 3);
+            ASSERT_TRUE(res.has_value());
+            EXPECT_EQ(res->weight, c.weight)
+                << c.name << " threads=" << threads;
+            EXPECT_EQ(res->evaluated, c.evaluated)
+                << c.name << " threads=" << threads;
+            EXPECT_EQ(stringsHash(res->mapping), c.strhash)
+                << c.name << " threads=" << threads;
+        }
+        setParallelThreads(0);
+    }
 }
 
 TEST(PerfParity, ParallelReduceIsDeterministic)
