@@ -3,11 +3,11 @@
 
 Usage:
     check_perf_trajectory.py [--baseline-dir bench/baselines]
-                             [--ratio 5.0] [--floor 0.1]
+                             [--ratio 5.0] [--floor 0.1] [--list]
                              BENCH_a.json [BENCH_b.json ...]
 
-For every fresh file with a committed baseline of the same name, records
-are joined on their stable "name" field (see bench/README.md):
+For every fresh file, records are joined on their stable "name" field
+against the committed baseline of the same file name (bench/README.md):
 
   * pauli_weight and candidates are determinism witnesses — any change
     at equal name is a FAILURE (the algorithms must be bit-stable);
@@ -15,7 +15,13 @@ are joined on their stable "name" field (see bench/README.md):
     slower than ratio * baseline AND above the absolute floor (the floor
     absorbs scheduler noise on sub-100ms records);
   * a baseline record missing from the fresh run is a FAILURE (record
-    names are a stable contract); new records are reported, not failed.
+    names are a stable contract); new records are reported, not failed;
+  * a fresh file with NO committed baseline is a hard ERROR — a renamed
+    benchmark or a forgotten baseline refresh must not silently drop the
+    file out of the trajectory. Add the baseline in the same PR.
+
+--list prints the per-record join (fresh seconds/witnesses vs baseline)
+without judging it, so CI logs the full inventory next to the verdict.
 
 Exit code: 0 clean, 1 regression/violation, 2 usage or unreadable file.
 """
@@ -73,6 +79,27 @@ def compare(fresh_path, base_path, ratio, floor):
     return failures, notes
 
 
+def list_join(fresh_path, base_path):
+    """Print the record inventory of one fresh file (and its baseline)."""
+    fresh = load_records(fresh_path)
+    base = load_records(base_path) if os.path.exists(base_path) else {}
+    status = "baseline: " + (base_path if base else "MISSING")
+    print(f"{fresh_path} ({status})")
+    for name in sorted(set(fresh) | set(base)):
+        frec, brec = fresh.get(name), base.get(name)
+
+        def cell(rec):
+            if rec is None:
+                return "-- absent --"
+            secs = rec.get("seconds")
+            secs = f"{secs:.6f}s" if isinstance(secs, (int, float)) \
+                else str(secs)
+            return (f"{secs} w={rec.get('pauli_weight')} "
+                    f"c={rec.get('candidates')}")
+
+        print(f"  {name}: fresh {cell(frec)} | base {cell(brec)}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("fresh", nargs="+", help="freshly emitted BENCH_*.json")
@@ -81,6 +108,8 @@ def main():
                     help="max allowed seconds slowdown factor")
     ap.add_argument("--floor", type=float, default=0.1,
                     help="seconds below which slowdowns are ignored")
+    ap.add_argument("--list", action="store_true",
+                    help="print the record join instead of judging it")
     args = ap.parse_args()
 
     any_failure = False
@@ -91,10 +120,20 @@ def main():
         if not os.path.exists(fresh_path):
             print(f"ERROR: missing fresh file {fresh_path}")
             return 2
-        if not os.path.exists(base_path):
-            print(f"note: no baseline for {fresh_path} "
-                  f"(expected {base_path}); skipping")
+        if args.list:
+            try:
+                list_join(fresh_path, base_path)
+            except (ValueError, json.JSONDecodeError) as e:
+                print(f"ERROR: {e}")
+                return 2
             continue
+        if not os.path.exists(base_path):
+            # A silent skip here would let a renamed benchmark (or a
+            # forgotten `cp` into bench/baselines/) drop out of the
+            # trajectory while CI stays green.
+            print(f"ERROR: no baseline for {fresh_path} "
+                  f"(expected {base_path}); commit one in this PR")
+            return 2
         try:
             failures, notes = compare(fresh_path, base_path, args.ratio,
                                       args.floor)
@@ -108,6 +147,8 @@ def main():
             print(f"FAIL: {f}")
             any_failure = True
 
+    if args.list:
+        return 0
     if any_failure:
         print("perf trajectory check FAILED")
         return 1

@@ -1,8 +1,11 @@
 #include "io/cache.hpp"
 
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <ctime>
 #include <filesystem>
 #include <string>
 #include <system_error>
@@ -16,10 +19,118 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr int kCacheVersion = 1;
+constexpr int kIndexVersion = 1;
+constexpr const char *kIndexFile = "index.json";
+/** Temp files from interrupted writers older than this are gc()'d. */
+constexpr int64_t kTmpMaxAgeSeconds = 3600;
+
+int64_t
+wallClockNow()
+{
+    return static_cast<int64_t>(std::time(nullptr));
+}
+
+/** stat() a file; false when it vanished (concurrent eviction). */
+bool
+statFile(const std::string &path, uint64_t &size, int64_t &mtime)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return false;
+    size = static_cast<uint64_t>(st.st_size);
+    mtime = static_cast<int64_t>(st.st_mtime);
+    return true;
+}
+
+bool
+isTmpFile(const std::string &name)
+{
+    return name.find(".tmp.") != std::string::npos;
+}
+
+bool isEntryFile(const std::string &name);
+
+bool
+isDigits(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s)
+        if (c < '0' || c > '9')
+            return false;
+    return true;
+}
+
+/**
+ * A temp file THIS cache's writers create: an entry-file or index name
+ * plus ".tmp.<pid>.<counter>". gc() deletes only these — a mistargeted
+ * directory's unrelated "*.tmp.*" files are not cache debris.
+ */
+bool
+isCacheTmpFile(const std::string &name)
+{
+    const size_t pos = name.find(".tmp.");
+    if (pos == std::string::npos)
+        return false;
+    const std::string base = name.substr(0, pos);
+    if (base != kIndexFile && !isEntryFile(base))
+        return false;
+    const std::string rest = name.substr(pos + 5);
+    const size_t dot = rest.find('.');
+    if (dot == std::string::npos)
+        return false;
+    return isDigits(rest.substr(0, dot)) && isDigits(rest.substr(dot + 1));
+}
+
+/**
+ * An entry file matches exactly the names store() creates:
+ * <16 lowercase hex>-<kind>.json. Anything else in the directory —
+ * index.json, temp files, and above all unrelated user files when the
+ * cache path is mistargeted at an output directory — is never treated
+ * (or deleted!) as a cache entry.
+ */
+bool
+isEntryFile(const std::string &name)
+{
+    constexpr size_t hex = 16;
+    constexpr const char *suffix = ".json";
+    constexpr size_t suffix_len = 5;
+    if (isTmpFile(name) || name.size() < hex + 1 + 1 + suffix_len)
+        return false;
+    for (size_t i = 0; i < hex; ++i) {
+        const char c = name[i];
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    }
+    if (name[hex] != '-')
+        return false;
+    if (name.compare(name.size() - suffix_len, suffix_len, suffix) != 0)
+        return false;
+    // A non-empty kind between the dash and the extension.
+    return name.size() - suffix_len > hex + 1;
+}
 
 } // namespace
 
 MappingCache::MappingCache(std::string dir) : dir_(std::move(dir)) {}
+
+MappingCache::~MappingCache()
+{
+    // Only flush when this instance actually used the cache: read-only
+    // inspection (`hattc cache list`) must not rewrite index.json — a
+    // --check that failed would otherwise repair the drift it just
+    // reported.
+    {
+        std::lock_guard<std::mutex> lock(uses_mutex_);
+        if (pending_uses_.empty())
+            return;
+    }
+    try {
+        flushIndex();
+    } catch (...) {
+        // Best effort: the index is advisory; never throw from a dtor.
+    }
+}
 
 std::string
 MappingCache::entryPath(uint64_t content_hash,
@@ -28,6 +139,21 @@ MappingCache::entryPath(uint64_t content_hash,
     return (fs::path(dir_) / (hashToHex(content_hash) + "-" + kind +
                               ".json"))
         .string();
+}
+
+std::string
+MappingCache::indexPath() const
+{
+    return (fs::path(dir_) / kIndexFile).string();
+}
+
+void
+MappingCache::recordUse(const std::string &file) const
+{
+    const int64_t now = wallClockNow();
+    std::lock_guard<std::mutex> lock(uses_mutex_);
+    int64_t &slot = pending_uses_[file];
+    slot = std::max(slot, now);
 }
 
 std::optional<CachedMapping>
@@ -58,6 +184,7 @@ MappingCache::lookup(uint64_t content_hash, const std::string &kind) const
             if (cand->isNumber())
                 hit.candidates = static_cast<uint64_t>(
                     cand->asInt(0, INT64_MAX));
+        recordUse(fs::path(path).filename().string());
         return hit;
     } catch (const std::exception &) {
         // ParseError from the loader/validators, or std::invalid_argument
@@ -102,6 +229,280 @@ MappingCache::store(uint64_t content_hash, const std::string &kind,
         fs::remove(tmp, ec);
         throw ParseError("cannot publish cache entry " + path);
     }
+    recordUse(fs::path(path).filename().string());
+}
+
+std::vector<CacheIndexEntry>
+MappingCache::loadIndex() const
+{
+    std::vector<CacheIndexEntry> entries;
+    std::error_code ec;
+    if (!fs::exists(indexPath(), ec))
+        return entries;
+    try {
+        JsonValue doc = loadJsonFile(indexPath());
+        checkEnvelope(doc, "hatt-cache-index", kIndexVersion);
+        for (const JsonValue &rec : doc.at("entries").asArray()) {
+            CacheIndexEntry e;
+            e.file = rec.at("file").asString();
+            e.size = static_cast<uint64_t>(
+                rec.at("size").asInt(0, INT64_MAX));
+            e.lastUsed = rec.at("last_used").asInt();
+            entries.push_back(std::move(e));
+        }
+    } catch (const std::exception &) {
+        // Advisory data: a damaged index reads as empty and is replaced
+        // wholesale by the next flushIndex()/gc().
+        entries.clear();
+    }
+    return entries;
+}
+
+std::map<std::string, int64_t>
+MappingCache::takeUses() const
+{
+    std::map<std::string, int64_t> uses;
+    std::lock_guard<std::mutex> lock(uses_mutex_);
+    uses.swap(pending_uses_);
+    return uses;
+}
+
+void
+MappingCache::restoreUses(const std::map<std::string, int64_t> &uses) const
+{
+    std::lock_guard<std::mutex> lock(uses_mutex_);
+    for (const auto &[file, when] : uses) {
+        int64_t &slot = pending_uses_[file];
+        slot = std::max(slot, when);
+    }
+}
+
+std::vector<CacheIndexEntry>
+MappingCache::scanEntries() const
+{
+    return scanEntries(loadIndex());
+}
+
+std::vector<CacheIndexEntry>
+MappingCache::scanEntries(const std::vector<CacheIndexEntry> &index) const
+{
+    std::map<std::string, int64_t> uses;
+    {
+        // Copy, then release: the scan does file I/O and must not block
+        // concurrent lookup()/store() usage recording.
+        std::lock_guard<std::mutex> lock(uses_mutex_);
+        uses = pending_uses_;
+    }
+    return scanMerged(uses, index);
+}
+
+std::vector<CacheIndexEntry>
+MappingCache::scanMerged(const std::map<std::string, int64_t> &uses,
+                         const std::vector<CacheIndexEntry> &index) const
+{
+    std::map<std::string, int64_t> last_used;
+    for (const CacheIndexEntry &e : index)
+        last_used[e.file] = e.lastUsed;
+    for (const auto &[file, when] : uses) {
+        int64_t &slot = last_used[file];
+        slot = std::max(slot, when);
+    }
+
+    std::vector<CacheIndexEntry> entries;
+    std::error_code ec;
+    for (const fs::directory_entry &de : fs::directory_iterator(dir_, ec)) {
+        const std::string name = de.path().filename().string();
+        if (!isEntryFile(name))
+            continue;
+        CacheIndexEntry e;
+        e.file = name;
+        int64_t mtime = 0;
+        if (!statFile(de.path().string(), e.size, mtime))
+            continue; // concurrently evicted
+        auto it = last_used.find(name);
+        // mtime is the floor: an entry no run has touched since the
+        // index was last written still ages from its creation time.
+        e.lastUsed = it == last_used.end() ? mtime
+                                           : std::max(it->second, mtime);
+        entries.push_back(std::move(e));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const CacheIndexEntry &a, const CacheIndexEntry &b) {
+                  return a.file < b.file;
+              });
+    return entries;
+}
+
+namespace {
+
+void
+writeIndexFile(const std::string &dir, const std::string &index_path,
+               const std::vector<CacheIndexEntry> &entries)
+{
+    JsonValue doc = JsonValue::object();
+    doc.add("format", "hatt-cache-index");
+    doc.add("version", kIndexVersion);
+    JsonValue arr = JsonValue::array();
+    for (const CacheIndexEntry &e : entries) {
+        JsonValue rec = JsonValue::object();
+        rec.add("file", e.file);
+        rec.add("size", e.size);
+        rec.add("last_used", e.lastUsed);
+        arr.push(std::move(rec));
+    }
+    doc.add("entries", std::move(arr));
+
+    static std::atomic<uint64_t> counter{0};
+    const std::string tmp = index_path + ".tmp." +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(counter.fetch_add(1));
+    saveJsonFile(tmp, doc);
+    std::error_code ec;
+    fs::rename(tmp, index_path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        throw ParseError("cannot publish cache index in " + dir);
+    }
+}
+
+} // namespace
+
+void
+MappingCache::flushIndex()
+{
+    std::error_code ec;
+    if (!fs::is_directory(dir_, ec))
+        return; // nothing stored yet; keep the usage log for later
+    // Snapshot-and-swap: a lookup()/store() racing this flush lands its
+    // usage record in the (now empty) log for the NEXT flush instead of
+    // being silently discarded by a clear-after-write.
+    std::map<std::string, int64_t> uses = takeUses();
+    try {
+        writeIndexFile(dir_, indexPath(), scanMerged(uses, loadIndex()));
+    } catch (...) {
+        restoreUses(uses);
+        throw;
+    }
+}
+
+bool
+MappingCache::indexConsistent() const
+{
+    std::vector<CacheIndexEntry> index = loadIndex();
+    std::vector<CacheIndexEntry> disk = scanEntries(index);
+    return entriesMatch(std::move(index), disk);
+}
+
+bool
+MappingCache::entriesMatch(std::vector<CacheIndexEntry> index,
+                           const std::vector<CacheIndexEntry> &disk)
+{
+    if (index.size() != disk.size())
+        return false;
+    std::sort(index.begin(), index.end(),
+              [](const CacheIndexEntry &a, const CacheIndexEntry &b) {
+                  return a.file < b.file;
+              });
+    for (size_t i = 0; i < disk.size(); ++i)
+        if (index[i].file != disk[i].file || index[i].size != disk[i].size)
+            return false;
+    return true;
+}
+
+CacheGcStats
+MappingCache::gc(const CacheGcOptions &options)
+{
+    CacheGcStats stats;
+    std::error_code ec;
+    if (!fs::is_directory(dir_, ec))
+        return stats;
+
+    const int64_t now = options.now ? *options.now : wallClockNow();
+
+    // Clear crash debris: temp files an interrupted cache writer left
+    // behind (and only those — see isCacheTmpFile). Live writers publish
+    // within milliseconds, so an hour-old temp is never in flight.
+    // Judged against the same `now` as the age policy, so an injected
+    // clock governs the whole pass.
+    for (const fs::directory_entry &de : fs::directory_iterator(dir_, ec)) {
+        const std::string name = de.path().filename().string();
+        if (!isCacheTmpFile(name))
+            continue;
+        uint64_t size = 0;
+        int64_t mtime = 0;
+        if (statFile(de.path().string(), size, mtime) &&
+            now - mtime > kTmpMaxAgeSeconds)
+            fs::remove(de.path(), ec);
+    }
+
+    // Snapshot-and-swap the usage log (see flushIndex): records arriving
+    // after this point land in the next flush instead of being dropped.
+    std::map<std::string, int64_t> uses = takeUses();
+    std::vector<CacheIndexEntry> entries = scanMerged(uses, loadIndex());
+    stats.entries = entries.size();
+    for (const CacheIndexEntry &e : entries)
+        stats.bytesBefore += e.size;
+
+    // Age policy first, then LRU down to the byte budget. Oldest
+    // last-used evicts first; equal times break by file name so a gc
+    // pass is deterministic given the same directory state.
+    std::vector<CacheIndexEntry> keep;
+    std::vector<CacheIndexEntry> evict;
+    for (CacheIndexEntry &e : entries) {
+        if (options.maxAgeSeconds &&
+            now - e.lastUsed > *options.maxAgeSeconds)
+            evict.push_back(std::move(e));
+        else
+            keep.push_back(std::move(e));
+    }
+    if (options.maxBytes) {
+        std::sort(keep.begin(), keep.end(),
+                  [](const CacheIndexEntry &a, const CacheIndexEntry &b) {
+                      return a.lastUsed != b.lastUsed
+                                 ? a.lastUsed < b.lastUsed
+                                 : a.file < b.file;
+                  });
+        uint64_t total = 0;
+        for (const CacheIndexEntry &e : keep)
+            total += e.size;
+        size_t next = 0;
+        while (total > *options.maxBytes && next < keep.size()) {
+            total -= keep[next].size;
+            evict.push_back(std::move(keep[next]));
+            ++next;
+        }
+        keep.erase(keep.begin(),
+                   keep.begin() + static_cast<ptrdiff_t>(next));
+        // (keep is re-sorted by file name below, after the evict loop.)
+    }
+
+    for (CacheIndexEntry &e : evict) {
+        std::error_code rec;
+        fs::remove(fs::path(dir_) / e.file, rec);
+        if (rec) {
+            // Couldn't delete (permissions, pinned file): the entry is
+            // still on disk, so it stays in the index — dropping it
+            // would manufacture exactly the drift --check exists to
+            // catch — and is not counted as evicted.
+            keep.push_back(std::move(e));
+        } else {
+            ++stats.evicted;
+        }
+    }
+    std::sort(keep.begin(), keep.end(),
+              [](const CacheIndexEntry &a, const CacheIndexEntry &b) {
+                  return a.file < b.file;
+              });
+    for (const CacheIndexEntry &e : keep)
+        stats.bytesAfter += e.size;
+
+    try {
+        writeIndexFile(dir_, indexPath(), keep);
+    } catch (...) {
+        restoreUses(uses);
+        throw;
+    }
+    return stats;
 }
 
 } // namespace hatt::io

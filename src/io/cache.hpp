@@ -7,12 +7,27 @@
  * are stored under <dir>/<content-hash>-<kind>.json, keyed by the
  * splitmix64 content hash of the canonical Majorana form plus the
  * mapping kind string. `hattc` consults it to skip re-optimizing a
- * Hamiltonian it has already seen; batch/service callers can share one
- * directory across processes (files are written atomically via rename).
+ * Hamiltonian it has already seen; batch/service callers share one
+ * directory across threads and processes (files are written atomically
+ * via rename, and lookup()/store() touch no shared mutable state beyond
+ * a mutex-guarded usage log).
+ *
+ * Lifecycle: the directory scheme is O(1) lookup but unbounded growth,
+ * so the cache also maintains <dir>/index.json — one record per entry
+ * file with its size and last-used time. lookup() hits and store()s are
+ * logged in memory and folded into the index by flushIndex() (also run
+ * by the destructor); gc() evicts by age and/or total size, oldest
+ * last-used first, and rewrites the index to exactly the surviving
+ * files. The index is advisory — a missing or stale index never breaks
+ * lookups, and gc()/flushIndex() reconcile it against the directory.
  */
 
+#include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "fermion/majorana.hpp"
 #include "mapping/mapping.hpp"
@@ -30,11 +45,45 @@ struct CachedMapping
     std::optional<uint64_t> candidates;
 };
 
+/** One index.json record: an entry file with size and last-used time. */
+struct CacheIndexEntry
+{
+    std::string file;    //!< entry file name (<hash>-<kind>.json)
+    uint64_t size = 0;   //!< bytes on disk
+    int64_t lastUsed = 0; //!< unix seconds of the latest lookup/store
+};
+
+/** Eviction policy for MappingCache::gc(). */
+struct CacheGcOptions
+{
+    /** Evict least-recently-used entries until the total is <= this. */
+    std::optional<uint64_t> maxBytes;
+    /** Evict entries whose last use is older than this many seconds. */
+    std::optional<int64_t> maxAgeSeconds;
+    /** Override "now" (unix seconds) for the age policy; tests use it. */
+    std::optional<int64_t> now;
+};
+
+/** What a gc() pass did. */
+struct CacheGcStats
+{
+    size_t entries = 0;       //!< entry files before the pass
+    size_t evicted = 0;       //!< entry files removed
+    uint64_t bytesBefore = 0; //!< entry bytes before the pass
+    uint64_t bytesAfter = 0;  //!< entry bytes surviving
+};
+
 class MappingCache
 {
   public:
     /** Creates @p dir (and parents) on first store if missing. */
     explicit MappingCache(std::string dir);
+
+    /** Folds any unflushed usage log into index.json (best effort). */
+    ~MappingCache();
+
+    MappingCache(const MappingCache &) = delete;
+    MappingCache &operator=(const MappingCache &) = delete;
 
     const std::string &dir() const { return dir_; }
 
@@ -47,6 +96,7 @@ class MappingCache
      * truncated/corrupt/key-mismatched entry is also a miss: callers
      * recompute and the subsequent store() overwrites the bad file
      * atomically, so one damaged entry cannot abort a batch run.
+     * Hits are logged for the index's last-used tracking.
      */
     std::optional<CachedMapping> lookup(uint64_t content_hash,
                                         const std::string &kind) const;
@@ -57,8 +107,66 @@ class MappingCache
                const TernaryTree *tree = nullptr,
                std::optional<uint64_t> candidates = std::nullopt);
 
+    /** Path of the index file (<dir>/index.json). */
+    std::string indexPath() const;
+
+    /**
+     * Read index.json; missing or unparseable indexes yield an empty
+     * list (the index is advisory, never a correctness dependency).
+     */
+    std::vector<CacheIndexEntry> loadIndex() const;
+
+    /**
+     * Reconcile the directory's entry files with the on-disk index and
+     * the in-memory usage log: size from the file system, last-used as
+     * the newest of {usage log, previous index, file mtime}. Sorted by
+     * file name.
+     */
+    std::vector<CacheIndexEntry> scanEntries() const;
+
+    /** As above against an already-loaded index, so a caller that also
+        needs the index itself reads it exactly once (coherent view). */
+    std::vector<CacheIndexEntry>
+    scanEntries(const std::vector<CacheIndexEntry> &index) const;
+
+    /**
+     * Rewrite index.json from scanEntries() (atomic rename), clearing
+     * the in-memory usage log. No-op when the directory doesn't exist.
+     */
+    void flushIndex();
+
+    /** True when index.json lists exactly the on-disk entry files with
+        their current sizes. */
+    bool indexConsistent() const;
+
+    /** The consistency predicate itself: does @p index list exactly the
+        @p disk entries (files and sizes)? @p disk sorted by file. */
+    static bool entriesMatch(std::vector<CacheIndexEntry> index,
+                             const std::vector<CacheIndexEntry> &disk);
+
+    /**
+     * Evict entries per @p options (age filter first, then LRU until
+     * under the byte budget; ties broken by file name), delete stale
+     * temp files from interrupted writers, and rewrite index.json to
+     * exactly the survivors.
+     */
+    CacheGcStats gc(const CacheGcOptions &options);
+
   private:
+    void recordUse(const std::string &file) const;
+
+    /** scanEntries() against explicit usage and index snapshots. */
+    std::vector<CacheIndexEntry>
+    scanMerged(const std::map<std::string, int64_t> &uses,
+               const std::vector<CacheIndexEntry> &index) const;
+
+    /** Take the usage log (leaving it empty) / merge one back in. */
+    std::map<std::string, int64_t> takeUses() const;
+    void restoreUses(const std::map<std::string, int64_t> &uses) const;
+
     std::string dir_;
+    mutable std::mutex uses_mutex_;
+    mutable std::map<std::string, int64_t> pending_uses_;
 };
 
 } // namespace hatt::io

@@ -1,11 +1,15 @@
 #include "io/compiler.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <optional>
 #include <ostream>
+#include <set>
+#include <sstream>
 
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "ham/qubit_hamiltonian.hpp"
 #include "io/cache.hpp"
@@ -31,10 +35,15 @@ const char *kUsage =
     "commands:\n"
     "  map     <input>         build a fermion-to-qubit mapping\n"
     "  compile <input>         map + qubit Hamiltonian + metrics\n"
+    "  batch   <dir|manifest>  compile every input in parallel with a\n"
+    "                          shared mapping cache; emits\n"
+    "                          batch_report.json + batch_stats.json\n"
     "  stats   <input>         parse/preprocess summary + content hash\n"
     "  verify  <mapping.json>  check mapping validity + vacuum\n"
+    "  cache gc   <dir>        evict cache entries, rewrite index.json\n"
+    "  cache list <dir>        print the cache index as JSON\n"
     "\n"
-    "options (map/compile/stats):\n"
+    "options (map/compile/batch/stats):\n"
     "  --mapping KIND   hatt | hatt-unopt | jw | bk | btt  [hatt]\n"
     "  --format FMT     auto | ops | fcidump               [auto]\n"
     "  -o, --out DIR    output directory                   [out]\n"
@@ -42,17 +51,29 @@ const char *kUsage =
     "\n"
     "options (verify):\n"
     "  --require-vacuum fail (exit 1) unless the mapping also\n"
-    "                   preserves the vacuum state\n";
+    "                   preserves the vacuum state\n"
+    "\n"
+    "options (cache gc):\n"
+    "  --max-bytes N    evict LRU entries until the cache is <= N bytes\n"
+    "  --max-age SEC    evict entries unused for more than SEC seconds\n"
+    "\n"
+    "options (cache list):\n"
+    "  --check          exit 1 when index.json disagrees with the\n"
+    "                   directory contents\n";
 
 struct Options
 {
     std::string command;
+    std::string cacheCommand; //!< gc | list (command == "cache")
     std::string input;
     std::string mapping = "hatt";
     std::string outDir = "out";
     std::string cacheDir; //!< empty = no cache
     InputFormat format = InputFormat::Auto;
     bool requireVacuum = false;
+    bool check = false;
+    std::optional<uint64_t> maxBytes;
+    std::optional<int64_t> maxAge;
 };
 
 /** Thrown for bad command lines; maps to exit code 2 with usage text. */
@@ -60,6 +81,31 @@ struct UsageError : std::runtime_error
 {
     using std::runtime_error::runtime_error;
 };
+
+uint64_t
+parseUnsigned(const std::string &opt, const std::string &text,
+              uint64_t max_value = UINT64_MAX)
+{
+    // Digits only, within [0, max_value]: stoull would happily wrap
+    // "-5" to 2^64-5 (and 2^63 wraps negative through an int64 cast),
+    // turning a typo'd `cache gc --max-age -5` into a full eviction.
+    bool digits = !text.empty();
+    for (char c : text)
+        digits = digits && c >= '0' && c <= '9';
+    try {
+        if (!digits)
+            throw std::invalid_argument(text);
+        size_t used = 0;
+        unsigned long long v = std::stoull(text, &used);
+        if (used != text.size() || v > max_value)
+            throw std::invalid_argument(text);
+        return v;
+    } catch (const std::exception &) {
+        throw UsageError("option " + opt + " needs a non-negative " +
+                         "integer <= " + std::to_string(max_value) +
+                         ", got '" + text + "'");
+    }
+}
 
 Options
 parseArgs(const std::vector<std::string> &args)
@@ -69,7 +115,8 @@ parseArgs(const std::vector<std::string> &args)
     Options opt;
     opt.command = args[0];
     if (opt.command != "map" && opt.command != "compile" &&
-        opt.command != "stats" && opt.command != "verify")
+        opt.command != "batch" && opt.command != "stats" &&
+        opt.command != "verify" && opt.command != "cache")
         throw UsageError("unknown command '" + opt.command + "'");
 
     auto value = [&](size_t &i) -> const std::string & {
@@ -100,14 +147,39 @@ parseArgs(const std::vector<std::string> &args)
                 throw UsageError("--require-vacuum only applies to "
                                  "verify");
             opt.requireVacuum = true;
+        } else if (a == "--max-bytes") {
+            opt.maxBytes = parseUnsigned(a, value(i));
+        } else if (a == "--max-age") {
+            opt.maxAge = static_cast<int64_t>(
+                parseUnsigned(a, value(i), INT64_MAX));
+        } else if (a == "--check") {
+            opt.check = true;
         } else if (!a.empty() && a[0] == '-') {
             throw UsageError("unknown option '" + a + "'");
+        } else if (opt.command == "cache" && opt.cacheCommand.empty()) {
+            opt.cacheCommand = a;
         } else if (opt.input.empty()) {
             opt.input = a;
         } else {
             throw UsageError("unexpected argument '" + a + "'");
         }
     }
+    if (opt.command == "cache") {
+        if (opt.cacheCommand != "gc" && opt.cacheCommand != "list")
+            throw UsageError("cache needs a subcommand: gc | list");
+        if (opt.input.empty())
+            throw UsageError("cache " + opt.cacheCommand +
+                             " needs a cache directory");
+        if ((opt.maxBytes || opt.maxAge) && opt.cacheCommand != "gc")
+            throw UsageError("--max-bytes/--max-age only apply to "
+                             "cache gc");
+        if (opt.check && opt.cacheCommand != "list")
+            throw UsageError("--check only applies to cache list");
+        return opt;
+    }
+    if (opt.maxBytes || opt.maxAge || opt.check)
+        throw UsageError("--max-bytes/--max-age/--check only apply to "
+                         "the cache command");
     if (opt.input.empty())
         throw UsageError(opt.command + " needs an input file");
 
@@ -155,11 +227,9 @@ struct BuiltMapping
 
 BuiltMapping
 buildMappingKind(const std::string &kind, const LoadedProblem &problem,
-                 const std::string &cache_dir)
+                 MappingCache *cache)
 {
-    std::optional<MappingCache> cache;
-    if (!cache_dir.empty()) {
-        cache.emplace(cache_dir);
+    if (cache) {
         if (auto hit = cache->lookup(problem.contentHash, kind)) {
             BuiltMapping out;
             out.mapping = std::move(hit->mapping);
@@ -234,13 +304,80 @@ ensureOutDir(const std::string &dir)
                          ec.message());
 }
 
+/** What one input compiled to (compile artifacts already on disk). */
+struct CompileOutcome
+{
+    LoadedProblem problem;
+    BuiltMapping built;
+    std::optional<HamiltonianMetrics> qubitMetrics;
+    double totalSeconds = 0.0;
+};
+
+/**
+ * The full `hattc compile` pipeline for one input: parse, preprocess,
+ * build the mapping (consulting @p cache when given), map the qubit
+ * Hamiltonian (when @p emit_qubit), and write every artifact into
+ * @p out_dir. Shared by the single-input commands and every batch item.
+ */
+CompileOutcome
+compileInput(const std::string &path, InputFormat format,
+             const std::string &kind, const std::string &out_dir,
+             MappingCache *cache, bool emit_qubit)
+{
+    CompileOutcome res;
+    res.problem = loadProblem(path, format);
+    res.built = buildMappingKind(kind, res.problem, cache);
+
+    ensureOutDir(out_dir);
+    const fs::path dir(out_dir);
+    const std::string stem = res.problem.stem;
+    saveJsonFile((dir / (stem + ".mapping.json")).string(),
+                 mappingToJson(res.built.mapping));
+    if (res.built.tree)
+        saveJsonFile((dir / (stem + ".tree.json")).string(),
+                     treeToJson(*res.built.tree));
+
+    std::optional<uint64_t> pauli_weight;
+    std::optional<uint64_t> candidates;
+    if (res.built.stats)
+        candidates = res.built.stats->candidatesEvaluated;
+
+    double map_seconds = 0.0;
+    if (emit_qubit) {
+        Timer timer;
+        // Engine batch entry point over the accumulator's deduplicated
+        // monomials (mapToQubits wraps exactly this; spelled out here so
+        // the shipped driver exercises — and the hattc tests pin — the
+        // engine API itself).
+        QubitMappingEngine engine(res.built.mapping);
+        engine.addBatch(res.problem.poly.terms());
+        PauliSum hq = engine.finish();
+        map_seconds = timer.seconds();
+        res.qubitMetrics = hamiltonianMetrics(hq);
+        pauli_weight = res.qubitMetrics->pauliWeight;
+        saveJsonFile((dir / (stem + ".qubit.json")).string(),
+                     pauliSumToJson(hq));
+    }
+
+    res.totalSeconds = res.built.seconds + map_seconds;
+    saveJsonFile((dir / (stem + ".metrics.json")).string(),
+                 metricsDocument(stem + "/" + kind, res.totalSeconds,
+                                 pauli_weight, candidates,
+                                 res.built.cacheHit));
+    return res;
+}
+
 int
 cmdMapOrCompile(const Options &opt, std::ostream &out)
 {
     const bool compile = opt.command == "compile";
-    LoadedProblem problem = loadProblem(opt.input, opt.format);
-    BuiltMapping built =
-        buildMappingKind(opt.mapping, problem, opt.cacheDir);
+    std::optional<MappingCache> cache;
+    if (!opt.cacheDir.empty())
+        cache.emplace(opt.cacheDir);
+    CompileOutcome res =
+        compileInput(opt.input, opt.format, opt.mapping, opt.outDir,
+                     cache ? &*cache : nullptr, compile);
+    const LoadedProblem &problem = res.problem;
 
     out << "input:        " << opt.input << " (" << problem.format << ", "
         << problem.numModes << " modes, " << problem.fermionTerms
@@ -248,51 +385,60 @@ cmdMapOrCompile(const Options &opt, std::ostream &out)
         << " majorana monomials)\n";
     out << "content hash: " << hashToHex(problem.contentHash) << "\n";
     out << "mapping:      " << opt.mapping << " -> "
-        << built.mapping.numQubits << " qubits"
-        << (built.cacheHit ? " [cache hit]" : "") << "\n";
+        << res.built.mapping.numQubits << " qubits"
+        << (res.built.cacheHit ? " [cache hit]" : "") << "\n";
+    if (res.qubitMetrics)
+        out << "qubit H:      " << res.qubitMetrics->numTerms
+            << " non-identity terms, pauli weight "
+            << res.qubitMetrics->pauliWeight << ", max |Im coeff| "
+            << res.qubitMetrics->maxImagCoeff << "\n";
+    out << "wrote:        "
+        << (fs::path(opt.outDir) / (problem.stem + ".*.json")).string()
+        << " (" << res.totalSeconds << " s)\n";
+    return 0;
+}
+
+int
+cmdBatch(const Options &opt, std::ostream &out)
+{
+    BatchOptions bopt;
+    bopt.outDir = opt.outDir;
+    bopt.cacheDir = opt.cacheDir;
+    bopt.mapping = opt.mapping;
+    bopt.format = opt.format;
+    BatchCompiler compiler(bopt);
+
+    std::vector<BatchItem> items = compiler.discoverInputs(opt.input);
+    if (items.empty())
+        throw ParseError("no .ops/.fcidump inputs found in " + opt.input);
+    std::vector<BatchItemResult> results = compiler.run(std::move(items));
 
     ensureOutDir(opt.outDir);
     const fs::path dir(opt.outDir);
-    const std::string stem = problem.stem;
-    saveJsonFile((dir / (stem + ".mapping.json")).string(),
-                 mappingToJson(built.mapping));
-    if (built.tree)
-        saveJsonFile((dir / (stem + ".tree.json")).string(),
-                     treeToJson(*built.tree));
+    saveJsonFile((dir / "batch_report.json").string(),
+                 BatchCompiler::reportDocument(results));
+    saveJsonFile((dir / "batch_stats.json").string(),
+                 BatchCompiler::statsDocument(results));
 
-    std::optional<uint64_t> pauli_weight;
-    std::optional<uint64_t> candidates;
-    if (built.stats)
-        candidates = built.stats->candidatesEvaluated;
-
-    double map_seconds = 0.0;
-    if (compile) {
-        Timer timer;
-        // Engine batch entry point over the accumulator's deduplicated
-        // monomials (mapToQubits wraps exactly this; spelled out here so
-        // the shipped driver exercises — and the hattc tests pin — the
-        // engine API itself).
-        QubitMappingEngine engine(built.mapping);
-        engine.addBatch(problem.poly.terms());
-        PauliSum hq = engine.finish();
-        map_seconds = timer.seconds();
-        HamiltonianMetrics hm = hamiltonianMetrics(hq);
-        pauli_weight = hm.pauliWeight;
-        saveJsonFile((dir / (stem + ".qubit.json")).string(),
-                     pauliSumToJson(hq));
-        out << "qubit H:      " << hm.numTerms
-            << " non-identity terms, pauli weight " << hm.pauliWeight
-            << ", max |Im coeff| " << hm.maxImagCoeff << "\n";
+    out << "batch:        " << results.size() << " input(s) from "
+        << opt.input << "\n";
+    size_t failed = 0;
+    for (const BatchItemResult &r : results) {
+        if (r.ok) {
+            out << "  ok    " << r.item.name << "  " << r.item.mapping
+                << " -> " << r.numQubits << " qubits, weight "
+                << r.pauliWeight << (r.cacheHit ? "  [cache hit]" : "")
+                << "\n";
+        } else {
+            ++failed;
+            out << "  FAIL  " << r.item.name << "  " << r.error << "\n";
+        }
     }
-
-    const double total_seconds = built.seconds + map_seconds;
-    saveJsonFile((dir / (stem + ".metrics.json")).string(),
-                 metricsDocument(stem + "/" + opt.mapping, total_seconds,
-                                 pauli_weight, candidates,
-                                 built.cacheHit));
-    out << "wrote:        " << (dir / (stem + ".*.json")).string() << " ("
-        << total_seconds << " s)\n";
-    return 0;
+    out << "summary:      " << results.size() - failed << " ok, " << failed
+        << " failed\n";
+    out << "wrote:        "
+        << (dir / "batch_{report,stats}.json").string() << "\n";
+    return failed == 0 ? 0 : 1;
 }
 
 int
@@ -342,6 +488,56 @@ cmdVerify(const Options &opt, std::ostream &out)
     return (opt.requireVacuum && !vacuum) ? 1 : 0;
 }
 
+int
+cmdCache(const Options &opt, std::ostream &out)
+{
+    // A typo'd directory must not report an empty-but-healthy cache:
+    // `cache gc /mnt/cahce` exiting 0 with "evicted: 0" would leave the
+    // real cache growing while monitoring stays green.
+    std::error_code ec;
+    if (!fs::is_directory(opt.input, ec))
+        throw ParseError("cache directory does not exist: " + opt.input);
+    MappingCache cache(opt.input);
+    if (opt.cacheCommand == "gc") {
+        CacheGcOptions gco;
+        gco.maxBytes = opt.maxBytes;
+        gco.maxAgeSeconds = opt.maxAge;
+        CacheGcStats stats = cache.gc(gco);
+        out << "cache:    " << opt.input << "\n"
+            << "entries:  " << stats.entries << " (" << stats.bytesBefore
+            << " bytes)\n"
+            << "evicted:  " << stats.evicted << "\n"
+            << "kept:     " << stats.entries - stats.evicted << " ("
+            << stats.bytesAfter << " bytes)\n";
+        return 0;
+    }
+
+    // cache list: the reconciled index as JSON, machine-readable for
+    // CI. One index read feeds both the listing and the consistency
+    // verdict, so they can't disagree under a concurrent rewrite.
+    std::vector<CacheIndexEntry> index = cache.loadIndex();
+    std::vector<CacheIndexEntry> entries = cache.scanEntries(index);
+    const bool consistent =
+        MappingCache::entriesMatch(std::move(index), entries);
+    JsonValue doc = JsonValue::object();
+    doc.add("cache_dir", opt.input);
+    uint64_t total = 0;
+    JsonValue arr = JsonValue::array();
+    for (const CacheIndexEntry &e : entries) {
+        total += e.size;
+        JsonValue rec = JsonValue::object();
+        rec.add("file", e.file);
+        rec.add("size", e.size);
+        rec.add("last_used", e.lastUsed);
+        arr.push(std::move(rec));
+    }
+    doc.add("entries", std::move(arr));
+    doc.add("total_bytes", total);
+    doc.add("consistent", consistent);
+    out << doc.dump(2) << "\n";
+    return (opt.check && !consistent) ? 1 : 0;
+}
+
 } // namespace
 
 const std::vector<std::string> &
@@ -361,7 +557,7 @@ loadProblem(const std::string &path, InputFormat format)
     LoadedProblem problem;
     problem.stem = fs::path(path).stem().string();
 
-    StreamingMajoranaAccumulator acc;
+    ShardedMajoranaPreprocessor acc;
     if (format == InputFormat::Ops) {
         problem.format = "ops";
         std::ifstream in(path);
@@ -369,7 +565,7 @@ loadProblem(const std::string &path, InputFormat format)
             throw ParseError("cannot open file: " + path);
         FermionTextInfo info =
             streamFermionText(in, [&](FermionTerm &&term) {
-                acc.add(term);
+                acc.add(std::move(term));
                 return true;
             });
         acc.ensureModes(info.numModes);
@@ -378,14 +574,231 @@ loadProblem(const std::string &path, InputFormat format)
         problem.format = "fcidump";
         FermionHamiltonian hf = loadFcidumpHamiltonian(path);
         for (const FermionTerm &term : hf.terms())
-            acc.add(term);
+            acc.add(FermionTerm(term));
         acc.ensureModes(hf.numModes());
         problem.fermionTerms = hf.size();
     }
-    problem.numModes = acc.numModes();
     problem.poly = acc.finish();
+    problem.numModes = problem.poly.numModes();
     problem.contentHash = majoranaContentHash(problem.poly);
     return problem;
+}
+
+// ------------------------------------------------------------------ batch
+
+BatchCompiler::BatchCompiler(BatchOptions options)
+    : options_(std::move(options))
+{
+}
+
+std::vector<BatchItem>
+BatchCompiler::discoverInputs(const std::string &source) const
+{
+    std::vector<BatchItem> items;
+    std::error_code ec;
+    if (fs::is_directory(source, ec)) {
+        for (const fs::directory_entry &de :
+             fs::directory_iterator(source, ec)) {
+            if (!de.is_regular_file())
+                continue;
+            std::string ext = de.path().extension().string();
+            for (char &c : ext)
+                c = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c)));
+            if (ext != ".ops" && ext != ".fcidump")
+                continue;
+            BatchItem item;
+            item.path = de.path().string();
+            item.name = de.path().filename().string();
+            item.mapping = options_.mapping;
+            items.push_back(std::move(item));
+        }
+        if (ec)
+            throw ParseError("cannot scan input directory " + source +
+                             ": " + ec.message());
+    } else {
+        std::ifstream in(source);
+        if (!in)
+            throw ParseError("cannot open batch manifest: " + source);
+        const fs::path base = fs::path(source).parent_path();
+        std::string line;
+        size_t lineno = 0;
+        while (std::getline(in, line)) {
+            ++lineno;
+            if (size_t hash = line.find('#'); hash != std::string::npos)
+                line.erase(hash);
+            std::istringstream ls(line);
+            std::string path, kind, extra;
+            if (!(ls >> path))
+                continue; // blank/comment line
+            if (ls >> kind) {
+                bool known = false;
+                for (const std::string &k : hattcMappingKinds())
+                    known = known || k == kind;
+                if (!known)
+                    throw ParseError(source + " line " +
+                                     std::to_string(lineno) +
+                                     ": unknown mapping '" + kind + "'");
+                if (ls >> extra)
+                    throw ParseError(source + " line " +
+                                     std::to_string(lineno) +
+                                     ": unexpected token '" + extra +
+                                     "'");
+            }
+            BatchItem item;
+            fs::path p(path);
+            item.path = p.is_absolute() ? p.string()
+                                        : (base / p).string();
+            item.name = p.filename().string();
+            item.mapping = kind.empty() ? options_.mapping : kind;
+            items.push_back(std::move(item));
+        }
+    }
+    // Deterministic report order regardless of directory iteration or
+    // manifest shuffling: sort by (name, path).
+    std::sort(items.begin(), items.end(),
+              [](const BatchItem &a, const BatchItem &b) {
+                  return a.name != b.name ? a.name < b.name
+                                          : a.path < b.path;
+              });
+    return items;
+}
+
+std::vector<BatchItemResult>
+BatchCompiler::run(std::vector<BatchItem> items) const
+{
+    std::optional<MappingCache> cache;
+    if (!options_.cacheDir.empty())
+        cache.emplace(options_.cacheDir);
+
+    std::vector<BatchItemResult> results(items.size());
+    for (size_t i = 0; i < items.size(); ++i)
+        results[i].item = std::move(items[i]);
+
+    // Report names key the per-input output directories, so they must
+    // be unique even when a caller passes an unsorted item list: two
+    // workers compiling the same name would race on the same artifact
+    // files. The first occurrence compiles, later ones fail.
+    std::set<std::string> seen;
+    for (BatchItemResult &r : results)
+        if (!seen.insert(r.item.name).second)
+            r.error = "duplicate input name '" + r.item.name +
+                      "' in batch";
+
+    // One input per chunk: inputs are the coarse parallel grain, and
+    // each input's own stages (sharded preprocessing, candidate scans,
+    // qubit mapping) dispatch nested and run inline on this worker.
+    parallelFor(results.size(), 1, [&](size_t i) {
+        BatchItemResult &r = results[i];
+        if (!r.error.empty())
+            return;
+        Timer timer;
+        try {
+            const std::string out_dir =
+                (fs::path(options_.outDir) / r.item.name).string();
+            CompileOutcome res =
+                compileInput(r.item.path, options_.format,
+                             r.item.mapping, out_dir,
+                             cache ? &*cache : nullptr, true);
+            r.format = res.problem.format;
+            r.numModes = res.problem.numModes;
+            r.fermionTerms = res.problem.fermionTerms;
+            r.monomials = res.problem.poly.size();
+            r.contentHash = res.problem.contentHash;
+            r.numQubits = res.built.mapping.numQubits;
+            r.pauliWeight = res.qubitMetrics->pauliWeight;
+            if (res.built.stats)
+                r.candidates = res.built.stats->candidatesEvaluated;
+            r.cacheHit = res.built.cacheHit;
+            r.ok = true;
+        } catch (const std::exception &e) {
+            // One bad input must not abort the batch: report and move on.
+            r.error = e.what();
+        }
+        r.seconds = timer.seconds();
+    });
+
+    if (cache) {
+        try {
+            cache->flushIndex();
+        } catch (const std::exception &) {
+            // The index is advisory: a full disk or revoked permission
+            // on the cache dir must not discard a finished batch — the
+            // report still gets written and the usage log is retained
+            // for a later flush.
+        }
+    }
+    return results;
+}
+
+JsonValue
+BatchCompiler::reportDocument(const std::vector<BatchItemResult> &results)
+{
+    JsonValue doc = JsonValue::object();
+    doc.add("format", "hatt-batch-report");
+    doc.add("version", 1);
+    size_t ok = 0;
+    uint64_t total_weight = 0;
+    JsonValue inputs = JsonValue::array();
+    for (const BatchItemResult &r : results) {
+        JsonValue rec = JsonValue::object();
+        rec.add("name", r.item.name);
+        rec.add("mapping", r.item.mapping);
+        rec.add("status", r.ok ? "ok" : "error");
+        if (!r.ok) {
+            rec.add("error", r.error);
+            inputs.push(std::move(rec));
+            continue;
+        }
+        ++ok;
+        total_weight += r.pauliWeight;
+        rec.add("input_format", r.format);
+        rec.add("modes", r.numModes);
+        rec.add("fermion_terms", static_cast<uint64_t>(r.fermionTerms));
+        rec.add("majorana_monomials", static_cast<uint64_t>(r.monomials));
+        rec.add("content_hash", hashToHex(r.contentHash));
+        rec.add("num_qubits", r.numQubits);
+        rec.add("pauli_weight", r.pauliWeight);
+        rec.add("candidates", r.candidates ? JsonValue(*r.candidates)
+                                           : JsonValue(nullptr));
+        inputs.push(std::move(rec));
+    }
+    doc.add("inputs", std::move(inputs));
+    JsonValue summary = JsonValue::object();
+    summary.add("inputs", static_cast<uint64_t>(results.size()));
+    summary.add("succeeded", static_cast<uint64_t>(ok));
+    summary.add("failed", static_cast<uint64_t>(results.size() - ok));
+    summary.add("total_pauli_weight", total_weight);
+    doc.add("summary", std::move(summary));
+    return doc;
+}
+
+JsonValue
+BatchCompiler::statsDocument(const std::vector<BatchItemResult> &results)
+{
+    JsonValue doc = JsonValue::object();
+    doc.add("format", "hatt-batch-stats");
+    doc.add("version", 1);
+    size_t hits = 0;
+    double seconds = 0.0;
+    JsonValue inputs = JsonValue::array();
+    for (const BatchItemResult &r : results) {
+        JsonValue rec = JsonValue::object();
+        rec.add("name", r.item.name);
+        rec.add("seconds", r.seconds);
+        rec.add("cache_hit", r.cacheHit);
+        inputs.push(std::move(rec));
+        if (r.cacheHit)
+            ++hits;
+        seconds += r.seconds;
+    }
+    doc.add("inputs", std::move(inputs));
+    JsonValue summary = JsonValue::object();
+    summary.add("inputs", static_cast<uint64_t>(results.size()));
+    summary.add("cache_hits", static_cast<uint64_t>(hits));
+    summary.add("seconds", seconds);
+    doc.add("summary", std::move(summary));
+    return doc;
 }
 
 int
@@ -398,6 +811,10 @@ runHattc(const std::vector<std::string> &args, std::ostream &out,
             return cmdStats(opt, out);
         if (opt.command == "verify")
             return cmdVerify(opt, out);
+        if (opt.command == "batch")
+            return cmdBatch(opt, out);
+        if (opt.command == "cache")
+            return cmdCache(opt, out);
         return cmdMapOrCompile(opt, out);
     } catch (const UsageError &e) {
         err << "hattc: " << e.what() << "\n\n" << kUsage;

@@ -13,16 +13,23 @@
  * Subcommands:
  *   map     <input>   mapping (+ tree) JSON, with metrics
  *   compile <input>   map + qubit Hamiltonian JSON + BENCH-shape metrics
+ *   batch   <dir|manifest>  compile every input in parallel over the
+ *                     work pool, sharing one mapping cache; emits a
+ *                     deterministic batch_report.json plus a volatile
+ *                     batch_stats.json (timings, cache hits)
  *   stats   <input>   parse/preprocess summary + content hash
  *   verify  <mapping.json>  validity + vacuum-preservation check
+ *   cache gc|list <dir>     cache eviction / index inspection
  */
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "fermion/majorana.hpp"
+#include "io/json.hpp"
 
 namespace hatt::io {
 
@@ -41,17 +48,114 @@ struct LoadedProblem
 };
 
 /**
- * Parse @p path (streaming for .ops) and preprocess into Majorana form.
+ * Parse @p path (streaming for .ops) and preprocess into Majorana form
+ * with the sharded accumulator (expansion fans out over the work pool;
+ * bit-identical to the serial path for every thread count).
  * @throws ParseError on unreadable/malformed input.
  */
 LoadedProblem loadProblem(const std::string &path,
                           InputFormat format = InputFormat::Auto);
 
+// ------------------------------------------------------------------ batch
+
+/** One unit of batch work: an input file plus its mapping kind. */
+struct BatchItem
+{
+    std::string path;    //!< input file path
+    std::string name;    //!< report key: the input's file name
+    std::string mapping; //!< mapping kind to build for this input
+};
+
+/** Per-input outcome of a batch run. */
+struct BatchItemResult
+{
+    BatchItem item;
+    bool ok = false;
+    std::string error;   //!< diagnostic when !ok
+
+    // Deterministic fields (batch_report.json).
+    std::string format;  //!< "ops" | "fcidump"
+    uint32_t numModes = 0;
+    size_t fermionTerms = 0;
+    size_t monomials = 0;
+    uint64_t contentHash = 0;
+    uint32_t numQubits = 0;
+    uint64_t pauliWeight = 0;
+    std::optional<uint64_t> candidates;
+
+    // Volatile fields (batch_stats.json only — they differ between a
+    // cold and a warm run, or between machines).
+    bool cacheHit = false;
+    double seconds = 0.0;
+};
+
+/** Batch-wide configuration. */
+struct BatchOptions
+{
+    std::string outDir = "out";
+    std::string cacheDir; //!< empty = no shared cache
+    std::string mapping = "hatt"; //!< default kind; items may override
+    InputFormat format = InputFormat::Auto; //!< forced for every input
+};
+
+/**
+ * Compile a corpus of Hamiltonians in one process: inputs run in
+ * parallel over the work pool (each input's own preprocessing/mapping
+ * stages then run inline), all sharing one content-addressed
+ * MappingCache — corrupt entries are soft misses, so a damaged cache
+ * file can never abort the batch. A failing input is reported and the
+ * rest of the batch proceeds.
+ *
+ * Artifacts: every input compiles into <outDir>/<name>/ exactly as
+ * `hattc compile` would, plus two batch documents:
+ *
+ *  - batch_report.json ("hatt-batch-report" v1): per-input status and
+ *    the deterministic outcome fields (modes, terms, content hash,
+ *    qubits, pauli weight, candidates), ordered by (name, path) —
+ *    byte-identical for every HATT_THREADS value and across cold/warm
+ *    cache runs;
+ *  - batch_stats.json ("hatt-batch-stats" v1): the volatile outcome
+ *    (seconds, cache hits) in the same order.
+ */
+class BatchCompiler
+{
+  public:
+    explicit BatchCompiler(BatchOptions options);
+
+    /**
+     * Build the work list from @p source: a directory is scanned
+     * (non-recursively) for *.ops / *.fcidump files; anything else is
+     * read as a manifest — one input path per line, relative to the
+     * manifest's directory, with an optional mapping kind after the
+     * path ('#' comments and blank lines ignored). Items are sorted by
+     * (name, path); a name collision marks the later item as an error
+     * at run() time.
+     * @throws ParseError on an unreadable source or bad manifest line.
+     */
+    std::vector<BatchItem> discoverInputs(const std::string &source) const;
+
+    /** Compile every item; results come back in the items' order. */
+    std::vector<BatchItemResult> run(std::vector<BatchItem> items) const;
+
+    /** The deterministic report document for @p results. */
+    static JsonValue reportDocument(
+        const std::vector<BatchItemResult> &results);
+
+    /** The volatile stats document (timings, cache hits). */
+    static JsonValue statsDocument(
+        const std::vector<BatchItemResult> &results);
+
+    const BatchOptions &options() const { return options_; }
+
+  private:
+    BatchOptions options_;
+};
+
 /**
  * Run the driver. @p args excludes the program name (i.e. main passes
  * {argv + 1, argv + argc}). Normal output goes to @p out, diagnostics to
- * @p err. @return process exit code: 0 success, 1 failed check,
- * 2 usage/input error.
+ * @p err. @return process exit code: 0 success, 1 failed check or
+ * failed batch input, 2 usage/input error.
  */
 int runHattc(const std::vector<std::string> &args, std::ostream &out,
              std::ostream &err);

@@ -4,13 +4,39 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/parallel.hpp"
+
 namespace hatt::io {
+
+StreamingMajoranaAccumulator
+StreamingMajoranaAccumulator::shard(uint32_t num_modes)
+{
+    StreamingMajoranaAccumulator s(num_modes);
+    s.dedup_ = false;
+    return s;
+}
 
 void
 StreamingMajoranaAccumulator::ensureModes(uint32_t modes)
 {
     if (modes > num_modes_)
         num_modes_ = modes;
+}
+
+void
+StreamingMajoranaAccumulator::fold(cplx coeff, std::vector<uint32_t> &&canon)
+{
+    if (!dedup_) {
+        order_.emplace_back(coeff, std::move(canon));
+        return;
+    }
+    auto it = index_.find(canon);
+    if (it != index_.end()) {
+        order_[it->second].coeff += coeff;
+    } else {
+        index_.emplace(canon, order_.size());
+        order_.emplace_back(coeff, std::move(canon));
+    }
 }
 
 void
@@ -44,21 +70,38 @@ StreamingMajoranaAccumulator::add(const FermionTerm &term)
         }
         auto [sign, canon] = MajoranaPolynomial::canonicalize(indices);
         coeff *= sign;
-
-        auto it = index_.find(canon);
-        if (it != index_.end()) {
-            order_[it->second].coeff += coeff;
-        } else {
-            index_.emplace(canon, order_.size());
-            order_.emplace_back(coeff, std::move(canon));
-        }
+        fold(coeff, std::move(canon));
     }
     ++terms_consumed_;
+}
+
+void
+StreamingMajoranaAccumulator::merge(StreamingMajoranaAccumulator &&other)
+{
+    ensureModes(other.num_modes_);
+    terms_consumed_ += other.terms_consumed_;
+    // Replay contribution by contribution — never add pre-summed shard
+    // partials — so the per-monomial coefficient fold has exactly the
+    // association of one accumulator fed the concatenated streams.
+    for (MajoranaTerm &t : other.order_)
+        fold(t.coeff, std::move(t.indices));
+    other.index_.clear();
+    other.order_.clear();
+    other.terms_consumed_ = 0;
+    other.num_modes_ = 0;
 }
 
 MajoranaPolynomial
 StreamingMajoranaAccumulator::finish(double tol)
 {
+    if (!dedup_) {
+        // A shard's log may hold duplicate monomials; combine it through
+        // a fresh accumulator so a single shard finishes to the same
+        // polynomial the serial path produces.
+        StreamingMajoranaAccumulator combined(num_modes_);
+        combined.merge(std::move(*this)); // leaves *this an empty shard
+        return combined.finish(tol);
+    }
     MajoranaPolynomial poly(num_modes_);
     for (MajoranaTerm &t : order_)
         if (std::abs(t.coeff) >= tol)
@@ -68,6 +111,76 @@ StreamingMajoranaAccumulator::finish(double tol)
     terms_consumed_ = 0;
     num_modes_ = 0;
     return poly;
+}
+
+ShardedMajoranaPreprocessor::ShardedMajoranaPreprocessor(uint32_t num_modes,
+                                                         size_t block_terms,
+                                                         size_t flush_terms)
+    : block_terms_(block_terms == 0 ? 1 : block_terms),
+      flush_terms_(flush_terms == 0 ? 1 : flush_terms), acc_(num_modes)
+{
+}
+
+void
+ShardedMajoranaPreprocessor::add(FermionTerm &&term)
+{
+    // Validate HERE, on the caller's thread: flush() expands blocks on
+    // pool workers, where a thrown std::invalid_argument would escape
+    // WorkPool::runChunks and terminate the process instead of reaching
+    // the driver's catch block as a clean diagnostic.
+    if (term.ops.size() > 30)
+        throw std::invalid_argument(
+            "StreamingMajoranaAccumulator: term with > 30 ladder operators");
+    buffer_.push_back(std::move(term));
+    if (buffer_.size() >= flush_terms_)
+        flush();
+}
+
+void
+ShardedMajoranaPreprocessor::ensureModes(uint32_t modes)
+{
+    acc_.ensureModes(modes);
+}
+
+size_t
+ShardedMajoranaPreprocessor::termsConsumed() const
+{
+    return acc_.termsConsumed() + buffer_.size();
+}
+
+void
+ShardedMajoranaPreprocessor::flush()
+{
+    if (buffer_.empty())
+        return;
+    // Expansion (2^k combos + canonicalization per term) fans out over
+    // fixed-size blocks; the reduce concatenates the shard logs in block
+    // index order, so the contribution sequence reaching acc_ equals the
+    // serial feed order for every thread count.
+    const std::vector<FermionTerm> &terms = buffer_;
+    StreamingMajoranaAccumulator combined = parallelReduceChunks(
+        terms.size(), block_terms_, StreamingMajoranaAccumulator::shard(),
+        [&](size_t lo, size_t hi) {
+            StreamingMajoranaAccumulator block =
+                StreamingMajoranaAccumulator::shard();
+            for (size_t t = lo; t < hi; ++t)
+                block.add(terms[t]);
+            return block;
+        },
+        [](StreamingMajoranaAccumulator out,
+           StreamingMajoranaAccumulator part) {
+            out.merge(std::move(part));
+            return out;
+        });
+    acc_.merge(std::move(combined));
+    buffer_.clear();
+}
+
+MajoranaPolynomial
+ShardedMajoranaPreprocessor::finish(double tol)
+{
+    flush();
+    return acc_.finish(tol);
 }
 
 } // namespace hatt::io

@@ -6,7 +6,10 @@
  * parses, maps and serializes, and reloading the serialized tree and
  * re-mapping reproduces the identical total Pauli weight and term
  * hashes as the in-memory pipeline — plus the FCIDUMP path, the
- * content-addressed cache, and CLI error handling.
+ * content-addressed cache, the `hattc batch` corpus compiler (report
+ * determinism across HATT_THREADS ∈ {1, 4}, warm-cache hit rates,
+ * manifest handling, failure isolation), `hattc cache gc|list`, and CLI
+ * error handling.
  */
 
 #include <gtest/gtest.h>
@@ -17,6 +20,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/parallel.hpp"
 #include "fermion/majorana.hpp"
 #include "ham/qubit_hamiltonian.hpp"
 #include "io/compiler.hpp"
@@ -248,6 +252,232 @@ TEST(Hattc, VerifyAcceptsValidAndRejectsTamperedMappings)
     fs::remove_all(dir);
 }
 
+// ------------------------------------------------------------------ batch
+
+/** Directory holding the sample corpus (resolved via dataFile). */
+std::string
+dataDir()
+{
+    return fs::path(dataFile("h2.ops")).parent_path().string();
+}
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(Hattc, BatchReportDeterministicAcrossThreadsAndAllHitsWhenWarm)
+{
+    // The acceptance pin: `hattc batch` over examples/data is
+    // deterministic across HATT_THREADS ∈ {1, 4} — byte-identical
+    // batch_report.json — and a warm second run is 100% cache hits
+    // with, again, the byte-identical report.
+    fs::path dir = scratchDir("batch");
+    const std::string cache = (dir / "cache").string();
+
+    setParallelThreads(1);
+    ASSERT_EQ(run({"batch", dataDir(), "--cache", cache, "-o",
+                   (dir / "t1").string()}),
+              0);
+    setParallelThreads(4);
+    ASSERT_EQ(run({"batch", dataDir(), "--cache", (dir / "c4").string(),
+                   "-o", (dir / "t4").string()}),
+              0);
+    // Warm: same cache as the t1 run.
+    ASSERT_EQ(run({"batch", dataDir(), "--cache", cache, "-o",
+                   (dir / "warm").string()}),
+              0);
+    setParallelThreads(0);
+
+    const std::string report = slurp(dir / "t1/batch_report.json");
+    EXPECT_FALSE(report.empty());
+    EXPECT_EQ(report, slurp(dir / "t4/batch_report.json"));
+    EXPECT_EQ(report, slurp(dir / "warm/batch_report.json"));
+
+    // Cold run: zero hits; warm run: every input hits.
+    JsonValue cold =
+        io::loadJsonFile((dir / "t1/batch_stats.json").string());
+    JsonValue warm =
+        io::loadJsonFile((dir / "warm/batch_stats.json").string());
+    EXPECT_EQ(cold.at("summary").at("cache_hits").asInt(), 0);
+    EXPECT_EQ(warm.at("summary").at("cache_hits").asInt(),
+              warm.at("summary").at("inputs").asInt());
+    EXPECT_GT(warm.at("summary").at("inputs").asInt(), 0);
+
+    // The report carries the paper's recorded outcomes for the corpus.
+    JsonValue doc = JsonValue::parse(report);
+    EXPECT_EQ(doc.at("summary").at("failed").asInt(), 0);
+    bool saw_h2 = false;
+    for (const JsonValue &rec : doc.at("inputs").asArray()) {
+        EXPECT_EQ(rec.at("status").asString(), "ok");
+        if (rec.at("name").asString() == "h2.ops") {
+            saw_h2 = true;
+            EXPECT_EQ(rec.at("num_qubits").asInt(), 4);
+            EXPECT_EQ(rec.at("pauli_weight").asInt(), 32);
+        }
+    }
+    EXPECT_TRUE(saw_h2);
+
+    // Per-input artifacts are the `hattc compile` set, byte-identical
+    // between the thread counts.
+    EXPECT_EQ(slurp(dir / "t1/h2.ops/h2.qubit.json"),
+              slurp(dir / "t4/h2.ops/h2.qubit.json"));
+
+    // The shared cache kept a consistent index; a gc pass preserves
+    // consistency (nothing is stale yet, so nothing is evicted).
+    std::string text;
+    EXPECT_EQ(run({"cache", "list", cache, "--check"}, &text), 0) << text;
+    EXPECT_EQ(run({"cache", "gc", cache, "--max-age", "86400"}, &text),
+              0);
+    EXPECT_EQ(run({"cache", "list", cache, "--check"}, &text), 0) << text;
+    fs::remove_all(dir);
+}
+
+TEST(Hattc, BatchManifestSelectsInputsAndPerLineMappings)
+{
+    fs::path dir = scratchDir("manifest");
+    const std::string manifest = (dir / "corpus.txt").string();
+    {
+        std::ofstream os(manifest);
+        os << "# corpus: one path per line, optional mapping kind\n"
+           << fs::absolute(dataFile("h2.ops")).string() << " jw\n"
+           << "\n"
+           << fs::absolute(dataFile("eq3.ops")).string() << "\n";
+    }
+    std::string text;
+    ASSERT_EQ(run({"batch", manifest, "--mapping", "btt", "-o",
+                   (dir / "out").string()},
+                  &text),
+              0)
+        << text;
+
+    JsonValue doc =
+        io::loadJsonFile((dir / "out/batch_report.json").string());
+    const JsonValue &inputs = doc.at("inputs");
+    ASSERT_EQ(inputs.size(), 2u);
+    // Sorted by name: eq3.ops (default kind from --mapping) then h2.ops
+    // (per-line override).
+    EXPECT_EQ(inputs.at(size_t{0}).at("name").asString(), "eq3.ops");
+    EXPECT_EQ(inputs.at(size_t{0}).at("mapping").asString(), "btt");
+    EXPECT_EQ(inputs.at(size_t{1}).at("name").asString(), "h2.ops");
+    EXPECT_EQ(inputs.at(size_t{1}).at("mapping").asString(), "jw");
+    EXPECT_EQ(inputs.at(size_t{1}).at("num_qubits").asInt(), 4);
+
+    // Relative manifest paths resolve against the manifest's directory.
+    fs::copy_file(dataFile("eq3.ops"), dir / "local.ops");
+    {
+        std::ofstream os(manifest, std::ios::trunc);
+        os << "local.ops\n";
+    }
+    ASSERT_EQ(run({"batch", manifest, "-o", (dir / "out2").string()},
+                  &text),
+              0)
+        << text;
+    fs::remove_all(dir);
+}
+
+TEST(Hattc, BatchIsolatesFailingInputsAndFlagsDuplicates)
+{
+    fs::path dir = scratchDir("batchbad");
+    fs::path corpus = dir / "corpus";
+    fs::create_directories(corpus);
+    fs::copy_file(dataFile("eq3.ops"), corpus / "eq3.ops");
+    {
+        std::ofstream os(corpus / "bad.ops");
+        os << "modes 2\n1.0 [0^ 1\n"; // unterminated bracket
+    }
+
+    // One malformed input fails, the good one still compiles: exit 1.
+    std::string text;
+    EXPECT_EQ(run({"batch", corpus.string(), "-o",
+                   (dir / "out").string()},
+                  &text),
+              1)
+        << text;
+    JsonValue doc =
+        io::loadJsonFile((dir / "out/batch_report.json").string());
+    EXPECT_EQ(doc.at("summary").at("failed").asInt(), 1);
+    EXPECT_EQ(doc.at("summary").at("succeeded").asInt(), 1);
+    const JsonValue &bad = doc.at("inputs").at(size_t{0});
+    EXPECT_EQ(bad.at("name").asString(), "bad.ops");
+    EXPECT_EQ(bad.at("status").asString(), "error");
+    EXPECT_NE(bad.at("error").asString().find("line 2"),
+              std::string::npos);
+    EXPECT_TRUE(fs::exists(dir / "out/eq3.ops/eq3.qubit.json"));
+
+    // Two manifest entries with the same file name collide on the
+    // per-input output directory: the later one is reported, not raced.
+    const std::string manifest = (dir / "dup.txt").string();
+    {
+        std::ofstream os(manifest);
+        os << fs::absolute(corpus / "eq3.ops").string() << "\n"
+           << fs::absolute(dataFile("eq3.ops")).string() << "\n";
+    }
+    EXPECT_EQ(run({"batch", manifest, "-o", (dir / "out2").string()},
+                  &text),
+              1);
+    JsonValue dup =
+        io::loadJsonFile((dir / "out2/batch_report.json").string());
+    EXPECT_EQ(dup.at("summary").at("succeeded").asInt(), 1);
+    EXPECT_NE(dup.at("inputs")
+                  .at(size_t{1})
+                  .at("error")
+                  .asString()
+                  .find("duplicate"),
+              std::string::npos);
+
+    // Library-level run() guards too: NON-adjacent duplicates in an
+    // unsorted caller-supplied list must not race on one output dir.
+    io::BatchOptions bopt;
+    bopt.outDir = (dir / "out3").string();
+    io::BatchCompiler compiler(bopt);
+    auto item = [&](const std::string &p) {
+        io::BatchItem it;
+        it.path = p;
+        it.name = fs::path(p).filename().string();
+        it.mapping = "jw";
+        return it;
+    };
+    auto results = compiler.run({item(dataFile("eq3.ops")),
+                                 item(dataFile("h2.ops")),
+                                 item(dataFile("eq3.ops"))});
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_TRUE(results[1].ok);
+    EXPECT_FALSE(results[2].ok);
+    EXPECT_NE(results[2].error.find("duplicate"), std::string::npos);
+    fs::remove_all(dir);
+}
+
+TEST(Hattc, CacheListIsReadOnlyAndGcRepairsDrift)
+{
+    fs::path dir = scratchDir("cachelist");
+    const std::string cache = (dir / "cache").string();
+    ASSERT_EQ(run({"compile", dataFile("eq3.ops"), "--cache", cache,
+                   "-o", (dir / "out").string()}),
+              0);
+    std::string text;
+    ASSERT_EQ(run({"cache", "list", cache, "--check"}, &text), 0) << text;
+
+    // Delete the entry behind the index's back: --check reports drift —
+    // and keeps reporting it, because `cache list` is read-only and must
+    // not repair the inconsistency it just flagged.
+    for (const auto &de : fs::directory_iterator(dir / "cache"))
+        if (de.path().filename() != "index.json")
+            fs::remove(de.path());
+    EXPECT_EQ(run({"cache", "list", cache, "--check"}, &text), 1);
+    EXPECT_EQ(run({"cache", "list", cache, "--check"}, &text), 1);
+
+    // A gc pass reconciles; the check goes green.
+    EXPECT_EQ(run({"cache", "gc", cache}, &text), 0);
+    EXPECT_EQ(run({"cache", "list", cache, "--check"}, &text), 0) << text;
+    fs::remove_all(dir);
+}
+
 TEST(Hattc, ReportsUsageAndInputErrors)
 {
     std::string text;
@@ -260,6 +490,44 @@ TEST(Hattc, ReportsUsageAndInputErrors)
     EXPECT_EQ(run({"map", "/nonexistent/input.ops"}, &text), 2);
     EXPECT_NE(text.find("cannot open"), std::string::npos) << text;
 
+    // Batch and cache command-line validation.
+    EXPECT_EQ(run({"batch"}, &text), 2);
+    EXPECT_EQ(run({"batch", "/nonexistent/corpus"}, &text), 2);
+    EXPECT_NE(text.find("cannot open batch manifest"),
+              std::string::npos)
+        << text;
+    EXPECT_EQ(run({"cache"}, &text), 2);
+    EXPECT_EQ(run({"cache", "frobnicate", "d"}, &text), 2);
+    EXPECT_EQ(run({"cache", "gc"}, &text), 2);
+    EXPECT_EQ(run({"cache", "gc", "d", "--max-bytes", "nope"}, &text), 2);
+    // A negative value must be a usage error, not a 2^64 wraparound
+    // that silently evicts everything (or nothing).
+    EXPECT_EQ(run({"cache", "gc", "d", "--max-age", "-5"}, &text), 2);
+    EXPECT_NE(text.find("non-negative"), std::string::npos) << text;
+    // 2^63 would wrap negative through the int64 cast: same hazard.
+    EXPECT_EQ(run({"cache", "gc", "d", "--max-age",
+                   "9223372036854775808"},
+                  &text),
+              2);
+    EXPECT_EQ(run({"cache", "gc", "d", "--check"}, &text), 2);
+    EXPECT_EQ(run({"compile", "in.ops", "--max-age", "5"}, &text), 2);
+    // A typo'd cache directory is an error, not an empty healthy cache.
+    EXPECT_EQ(run({"cache", "gc", "/nonexistent/cache"}, &text), 2);
+    EXPECT_NE(text.find("does not exist"), std::string::npos) << text;
+    EXPECT_EQ(run({"cache", "list", "/nonexistent/cache"}, &text), 2);
+
+    // A manifest line with an unknown mapping kind is a ParseError with
+    // its line number.
+    fs::path mdir = scratchDir("badmanifest");
+    const std::string manifest = (mdir / "m.txt").string();
+    {
+        std::ofstream os(manifest);
+        os << "whatever.ops frobnicate\n";
+    }
+    EXPECT_EQ(run({"batch", manifest}, &text), 2);
+    EXPECT_NE(text.find("line 1"), std::string::npos) << text;
+    fs::remove_all(mdir);
+
     // Malformed input file -> parse diagnostics, exit 2.
     fs::path dir = scratchDir("badinput");
     const std::string bad = (dir / "bad.ops").string();
@@ -269,6 +537,23 @@ TEST(Hattc, ReportsUsageAndInputErrors)
     }
     EXPECT_EQ(run({"compile", bad}, &text), 2);
     EXPECT_NE(text.find("line 2"), std::string::npos) << text;
+
+    // A term with > 30 ladder operators must surface as a clean exit-2
+    // diagnostic on the caller thread — never as an exception thrown on
+    // a pool worker mid-flush (which would terminate the process).
+    const std::string wide = (dir / "wide.ops").string();
+    {
+        std::ofstream os(wide);
+        os << "1.0 [";
+        for (int i = 0; i < 31; ++i)
+            os << (i ? " " : "") << i << "^";
+        os << "]\n";
+    }
+    setParallelThreads(4);
+    EXPECT_EQ(run({"compile", wide}, &text), 2);
+    setParallelThreads(0);
+    EXPECT_NE(text.find("30 ladder operators"), std::string::npos)
+        << text;
     fs::remove_all(dir);
 }
 

@@ -12,9 +12,12 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <clocale>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <locale>
@@ -28,7 +31,9 @@
 #include "io/json.hpp"
 #include "io/serialize.hpp"
 #include "io/stream.hpp"
+#include "mapping/bravyi_kitaev.hpp"
 #include "mapping/hatt.hpp"
+#include "mapping/jordan_wigner.hpp"
 #include "models/chains.hpp"
 #include "models/hubbard.hpp"
 
@@ -576,6 +581,137 @@ TEST(Stream, AgreesWithBatchOnStreamedHubbardLattice)
     }
 }
 
+/**
+ * A Hamiltonian whose coefficients are NOT exactly representable sums
+ * (irrational values, many terms expanding to the same monomial), so a
+ * shard merge that re-associated the per-monomial coefficient fold —
+ * adding pre-summed shard partials instead of replaying contributions —
+ * would drift in the last ulp and fail the bit-exact comparisons below.
+ */
+FermionHamiltonian
+nonDyadicHamiltonian()
+{
+    FermionHamiltonian hf(6);
+    int k = 0;
+    for (uint32_t p = 0; p < 6; ++p)
+        for (uint32_t q = 0; q < 6; ++q) {
+            ++k;
+            hf.add(FermionTerm{
+                cplx{std::sin(1.0 + k), std::cos(2.0 + k) / 3.0},
+                {FermionOp{p, true}, FermionOp{q, false}}});
+        }
+    for (uint32_t p = 0; p < 4; ++p)
+        hf.add(FermionTerm{cplx{1.0 / 3.0 + 0.1 * p, 0.0},
+                           {FermionOp{p, true}, FermionOp{p + 1, true},
+                            FermionOp{p + 1, false},
+                            FermionOp{p, false}}});
+    return hf;
+}
+
+void
+expectBitIdentical(const MajoranaPolynomial &got,
+                   const MajoranaPolynomial &want)
+{
+    ASSERT_EQ(got.numModes(), want.numModes());
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got.terms()[i].indices, want.terms()[i].indices)
+            << "term " << i;
+        // operator== on doubles is exact; together with the memcmp this
+        // also rejects a -0.0 vs +0.0 drift.
+        EXPECT_EQ(got.terms()[i].coeff, want.terms()[i].coeff)
+            << "term " << i;
+        EXPECT_EQ(std::memcmp(&got.terms()[i].coeff,
+                              &want.terms()[i].coeff, sizeof(cplx)),
+                  0)
+            << "term " << i;
+    }
+}
+
+TEST(Stream, ShardMergeBitIdenticalUnderAdversarialSplits)
+{
+    FermionHamiltonian hf = nonDyadicHamiltonian();
+    MajoranaPolynomial batch = MajoranaPolynomial::fromFermion(hf);
+    const size_t n = hf.size();
+
+    // Split points partition the term stream into contiguous shards:
+    // all-in-one-shard, empty shards at the front/middle/back, every
+    // term its own shard, and unbalanced splits.
+    std::vector<std::vector<size_t>> splits = {
+        {},                 // single shard holds everything
+        {0},                // empty first shard
+        {n},                // empty last shard
+        {n / 2, n / 2},     // empty middle shard
+        {1},                // single-term first shard
+        {n - 1},            // single-term last shard
+        {1, 2, n / 2},      // unbalanced
+    };
+    std::vector<size_t> each; // every term its own shard
+    for (size_t i = 1; i < n; ++i)
+        each.push_back(i);
+    splits.push_back(each);
+
+    for (const std::vector<size_t> &split : splits) {
+        std::vector<size_t> bounds = {0};
+        bounds.insert(bounds.end(), split.begin(), split.end());
+        bounds.push_back(n);
+
+        io::StreamingMajoranaAccumulator combined(hf.numModes());
+        for (size_t s = 0; s + 1 < bounds.size(); ++s) {
+            io::StreamingMajoranaAccumulator shard =
+                io::StreamingMajoranaAccumulator::shard();
+            for (size_t t = bounds[s]; t < bounds[s + 1]; ++t)
+                shard.add(hf.terms()[t]);
+            combined.merge(std::move(shard));
+        }
+        expectBitIdentical(combined.finish(), batch);
+    }
+}
+
+TEST(Stream, ShardsConcatenateBeforeCombiningExactly)
+{
+    // Chained shard-into-shard merges (the reduce tree of the parallel
+    // preprocessor) followed by one combine must equal the serial path.
+    FermionHamiltonian hf = nonDyadicHamiltonian();
+    MajoranaPolynomial batch = MajoranaPolynomial::fromFermion(hf);
+
+    io::StreamingMajoranaAccumulator log =
+        io::StreamingMajoranaAccumulator::shard();
+    const size_t third = hf.size() / 3;
+    for (size_t s = 0; s < 3; ++s) {
+        io::StreamingMajoranaAccumulator shard =
+            io::StreamingMajoranaAccumulator::shard();
+        const size_t hi = s == 2 ? hf.size() : (s + 1) * third;
+        for (size_t t = s * third; t < hi; ++t)
+            shard.add(hf.terms()[t]);
+        log.merge(std::move(shard)); // shard-mode merge = concatenation
+    }
+    EXPECT_EQ(log.termsConsumed(), hf.size());
+
+    // finish() on a shard combines through a fresh accumulator, so even
+    // the log-only path finishes to the canonical polynomial.
+    expectBitIdentical(log.finish(), batch);
+}
+
+TEST(Stream, ShardedPreprocessorMatchesSerialOnHubbardStream)
+{
+    // The paper-scale smoke: the 2x2 Hubbard stream through the parallel
+    // preprocessor with tiny blocks (many shards + multiple flushes)
+    // equals the batch path exactly. The thread-count sweep lives in
+    // tests/test_perf_parity.cpp.
+    HubbardParams params{2, 2, 1.0, 4.0};
+    MajoranaPolynomial batch =
+        MajoranaPolynomial::fromFermion(hubbardModel(params));
+
+    io::ShardedMajoranaPreprocessor pre(0, /*block_terms=*/3,
+                                        /*flush_terms=*/7);
+    streamHubbardTerms(params,
+                       [&](FermionTerm &&t) { pre.add(std::move(t)); });
+    pre.ensureModes(hubbardNumModes(params));
+    EXPECT_EQ(pre.termsConsumed(), hubbardModel(params).size());
+    expectBitIdentical(pre.finish(), batch);
+}
+
 // ----------------------------------------------------------- serializers
 
 TEST(Serialize, TreeRoundTripsNodeForNode)
@@ -825,6 +961,153 @@ TEST(Cache, CorruptEntriesAreMissesAndGetOverwritten)
         os << "{\"format\": \"hatt-cache\", \"version\": 1}";
     }
     EXPECT_FALSE(cache.lookup(hash, "hatt").has_value());
+    fs::remove_all(dir);
+}
+
+TEST(Cache, IndexTracksEntriesAndSurvivesDriftAndCorruption)
+{
+    fs::path dir = scratchDir("cache_index");
+    MajoranaPolynomial poly = MajoranaPolynomial::fromFermion(
+        hubbardModel({2, 2, 1.0, 4.0}));
+    uint64_t hash = io::majoranaContentHash(poly);
+    io::MappingCache cache(dir.string());
+    HattResult res = buildHattMapping(poly);
+
+    cache.store(hash, "hatt", res.mapping, &res.tree);
+    cache.store(hash, "jw", jordanWignerMapping(poly.numModes()));
+    cache.flushIndex();
+
+    std::vector<io::CacheIndexEntry> index = cache.loadIndex();
+    ASSERT_EQ(index.size(), 2u);
+    EXPECT_LT(index[0].file, index[1].file); // sorted by file name
+    for (const io::CacheIndexEntry &e : index) {
+        EXPECT_EQ(e.size, fs::file_size(dir / e.file));
+        EXPECT_GT(e.lastUsed, 0);
+    }
+    EXPECT_TRUE(cache.indexConsistent());
+
+    // Drift: an entry removed behind the cache's back is detected, and
+    // the next flush reconciles the index against the directory.
+    fs::remove(cache.entryPath(hash, "jw"));
+    EXPECT_FALSE(cache.indexConsistent());
+    cache.flushIndex();
+    EXPECT_TRUE(cache.indexConsistent());
+    EXPECT_EQ(cache.loadIndex().size(), 1u);
+
+    // A corrupt index file is advisory data: reads as empty, lookups
+    // still hit, and the next flush rewrites it wholesale.
+    {
+        std::ofstream os(cache.indexPath(), std::ios::trunc);
+        os << "{\"format\": \"hatt-cache-index\"";
+    }
+    EXPECT_TRUE(cache.loadIndex().empty());
+    EXPECT_TRUE(cache.lookup(hash, "hatt").has_value());
+    cache.flushIndex();
+    EXPECT_EQ(cache.loadIndex().size(), 1u);
+    EXPECT_TRUE(cache.indexConsistent());
+    fs::remove_all(dir);
+}
+
+TEST(Cache, GcEvictsByAgeThenLruSizeAndRewritesTheIndex)
+{
+    fs::path dir = scratchDir("cache_gc");
+    MajoranaPolynomial poly = MajoranaPolynomial::fromFermion(
+        hubbardModel({2, 2, 1.0, 4.0}));
+    uint64_t hash = io::majoranaContentHash(poly);
+    HattResult res = buildHattMapping(poly);
+    {
+        // Populate in a scope so no in-memory usage log survives: the
+        // fresh cache below sees only index/mtime state, as a separate
+        // `hattc cache gc` process would.
+        io::MappingCache writer(dir.string());
+        writer.store(hash, "hatt", res.mapping, &res.tree);
+        writer.store(hash, "jw", jordanWignerMapping(poly.numModes()));
+        writer.store(hash, "bk", bravyiKitaevMapping(poly.numModes()));
+    }
+    fs::remove(dir / "index.json"); // last-used falls back to file mtime
+
+    // Bystander files that merely end in .json — a report dropped into
+    // the cache dir, or a mistargeted `cache gc out/` — are never
+    // treated as entries, never indexed, and above all never deleted.
+    const fs::path bystander = dir / "precious_results.json";
+    {
+        std::ofstream os(bystander);
+        os << "{\"mine\": true}";
+    }
+
+    // Backdate two entries; a max-age pass must evict exactly those and
+    // leave an index listing exactly the survivor.
+    const auto old_time =
+        fs::file_time_type::clock::now() - std::chrono::hours(2);
+    io::MappingCache cache(dir.string());
+    fs::last_write_time(cache.entryPath(hash, "jw"), old_time);
+    fs::last_write_time(cache.entryPath(hash, "bk"), old_time);
+
+    io::CacheGcOptions age_only;
+    age_only.maxAgeSeconds = 3600;
+    io::CacheGcStats stats = cache.gc(age_only);
+    EXPECT_EQ(stats.entries, 3u);
+    EXPECT_EQ(stats.evicted, 2u);
+    EXPECT_FALSE(fs::exists(cache.entryPath(hash, "jw")));
+    EXPECT_FALSE(fs::exists(cache.entryPath(hash, "bk")));
+    EXPECT_TRUE(cache.lookup(hash, "hatt").has_value());
+    ASSERT_EQ(cache.loadIndex().size(), 1u);
+    EXPECT_TRUE(cache.indexConsistent());
+
+    // Byte budget: oldest last-used evicts first (LRU); with one entry
+    // a zero budget empties the cache but keeps a consistent index.
+    io::CacheGcOptions size_only;
+    size_only.maxBytes = 0;
+    stats = cache.gc(size_only);
+    EXPECT_EQ(stats.evicted, 1u);
+    EXPECT_EQ(stats.bytesAfter, 0u);
+    EXPECT_TRUE(cache.loadIndex().empty());
+    EXPECT_TRUE(cache.indexConsistent());
+    EXPECT_FALSE(cache.lookup(hash, "hatt").has_value());
+
+    // Even evict-everything passes leave the bystander untouched.
+    EXPECT_TRUE(fs::exists(bystander));
+
+    // Stale temp files from interrupted cache writers are crash debris;
+    // a user's "*.tmp.*" file that doesn't match the writer pattern
+    // (<16-hex>-<kind>.json.tmp.<pid>.<counter>) is not.
+    const fs::path stale_tmp =
+        dir / "deadbeefdeadbeef-hatt.json.tmp.1.2";
+    const fs::path user_tmp = dir / "results.tmp.backup";
+    for (const fs::path &p : {stale_tmp, user_tmp}) {
+        std::ofstream os(p);
+        os << "partial";
+        os.close();
+        fs::last_write_time(p, old_time);
+    }
+    cache.gc(io::CacheGcOptions{});
+    EXPECT_FALSE(fs::exists(stale_tmp));
+    EXPECT_TRUE(fs::exists(user_tmp));
+    fs::remove_all(dir);
+}
+
+TEST(Cache, GcHonorsInjectedNowForAgePolicies)
+{
+    fs::path dir = scratchDir("cache_gc_now");
+    MajoranaPolynomial poly = MajoranaPolynomial::fromFermion(
+        hubbardModel({2, 2, 1.0, 4.0}));
+    uint64_t hash = io::majoranaContentHash(poly);
+    HattResult res = buildHattMapping(poly);
+    io::MappingCache cache(dir.string());
+    cache.store(hash, "hatt", res.mapping, &res.tree);
+
+    // From one day in the future everything is stale; from now, nothing.
+    io::CacheGcOptions not_yet;
+    not_yet.maxAgeSeconds = 86400 * 7;
+    EXPECT_EQ(cache.gc(not_yet).evicted, 0u);
+    ASSERT_TRUE(cache.lookup(hash, "hatt").has_value());
+
+    io::CacheGcOptions future;
+    future.maxAgeSeconds = 3600;
+    future.now = static_cast<int64_t>(std::time(nullptr)) + 86400;
+    EXPECT_EQ(cache.gc(future).evicted, 1u);
+    EXPECT_FALSE(cache.lookup(hash, "hatt").has_value());
+    EXPECT_TRUE(cache.indexConsistent());
     fs::remove_all(dir);
 }
 

@@ -17,10 +17,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <numeric>
+#include <utility>
 
 #include "common/parallel.hpp"
+#include "io/stream.hpp"
 #include "common/rng.hpp"
 #include "ham/qubit_hamiltonian.hpp"
 #include "mapping/balanced_tree.hpp"
@@ -525,6 +528,47 @@ TEST(PerfParity, BatchMappingBitIdenticalAcrossThreadsAndToSerialSeed)
         }
         setParallelThreads(0);
     }
+}
+
+TEST(PerfParity, ShardedPreprocessingBitIdenticalAcrossThreadsAndToBatch)
+{
+    // Sharded Majorana preprocessing (per-block shard accumulators whose
+    // logs merge in block order) must reproduce the serial
+    // MajoranaPolynomial::fromFermion bits — term order, indices, and
+    // coefficient bit patterns — for every thread count. Tiny block and
+    // flush sizes force many shards and multiple flush rounds on the
+    // 2x2 Hubbard stream (20 fermionic terms).
+    HubbardParams params{2, 2, 1.0, 4.0};
+    MajoranaPolynomial batch =
+        MajoranaPolynomial::fromFermion(hubbardModel(params));
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        setParallelThreads(threads);
+        for (auto [block, flush] :
+             {std::pair<size_t, size_t>{1, 4}, {3, 7}, {256, 8192}}) {
+            io::ShardedMajoranaPreprocessor pre(0, block, flush);
+            streamHubbardTerms(
+                params, [&](FermionTerm &&t) { pre.add(std::move(t)); });
+            pre.ensureModes(hubbardNumModes(params));
+            MajoranaPolynomial sharded = pre.finish();
+
+            ASSERT_EQ(sharded.numModes(), batch.numModes());
+            ASSERT_EQ(sharded.size(), batch.size())
+                << "threads=" << threads << " block=" << block;
+            for (size_t i = 0; i < batch.size(); ++i) {
+                ASSERT_EQ(sharded.terms()[i].indices,
+                          batch.terms()[i].indices)
+                    << "threads=" << threads << " term " << i;
+                ASSERT_EQ(std::memcmp(&sharded.terms()[i].coeff,
+                                      &batch.terms()[i].coeff,
+                                      sizeof(cplx)),
+                          0)
+                    << "threads=" << threads << " block=" << block
+                    << " term " << i;
+            }
+        }
+    }
+    setParallelThreads(0);
 }
 
 TEST(PerfParity, ExhaustiveSearchBitIdenticalAcrossThreadsAndToSerialSeed)

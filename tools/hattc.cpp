@@ -1,7 +1,9 @@
 /**
  * @file
  * `hattc` — the HATT compiler driver. Thin wrapper over io/compiler so
- * the whole parse -> preprocess -> map -> serialize pipeline is library
+ * the whole parse -> preprocess -> map -> serialize pipeline — including
+ * `hattc batch` (parallel corpus compilation over one shared mapping
+ * cache) and `hattc cache gc|list` (cache eviction + index) — is library
  * code covered by the test suite; see `hattc` with no arguments for
  * usage.
  */
