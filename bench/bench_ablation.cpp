@@ -10,6 +10,7 @@
  */
 
 #include "bench_common.hpp"
+#include "mapping/hatt.hpp"
 #include "models/chains.hpp"
 #include "models/hubbard.hpp"
 #include "models/neutrino.hpp"

@@ -23,10 +23,7 @@
 #include "common/timer.hpp"
 #include "fermion/majorana.hpp"
 #include "ham/qubit_hamiltonian.hpp"
-#include "mapping/balanced_tree.hpp"
-#include "mapping/bravyi_kitaev.hpp"
-#include "mapping/hatt.hpp"
-#include "mapping/jordan_wigner.hpp"
+#include "mapping/mapper.hpp"
 #include "mapping/search.hpp"
 
 namespace hatt::bench {
@@ -149,26 +146,30 @@ compileMetrics(const MajoranaPolynomial &poly,
     return out;
 }
 
-/** Build a mapping by family name over @p poly. */
+/**
+ * Build a mapping by (display) family name over @p poly through the
+ * MapperRegistry — registry lookup is case-insensitive, so the tables'
+ * "JW" / "HATT-unopt" labels resolve to the canonical registered kinds
+ * without a bench-local dispatch copy.
+ */
+inline MappingResult
+buildMappingResult(const std::string &kind, const MajoranaPolynomial &poly)
+{
+    MappingRequest req;
+    req.kind = kind;
+    req.poly = &poly;
+    StatusOr<MappingResult> built = MapperRegistry::instance().build(req);
+    if (!built.ok())
+        throw std::invalid_argument("buildMapping: " +
+                                    built.status().message());
+    return std::move(built).value();
+}
+
+/** As buildMappingResult, keeping only the mapping. */
 inline FermionQubitMapping
 buildMapping(const std::string &kind, const MajoranaPolynomial &poly)
 {
-    const uint32_t n = poly.numModes();
-    if (kind == "JW")
-        return jordanWignerMapping(n);
-    if (kind == "BK")
-        return bravyiKitaevMapping(n);
-    if (kind == "BTT")
-        return balancedTernaryTreeMapping(n);
-    if (kind == "HATT")
-        return buildHattMapping(poly).mapping;
-    if (kind == "HATT-unopt") {
-        HattOptions opt;
-        opt.vacuumPairing = false;
-        opt.descCache = false;
-        return buildHattMapping(poly, opt).mapping;
-    }
-    throw std::invalid_argument("buildMapping: unknown kind " + kind);
+    return buildMappingResult(kind, poly).mapping;
 }
 
 /** Stable BENCH record name component: spaces become underscores. */

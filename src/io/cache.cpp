@@ -232,6 +232,27 @@ MappingCache::store(uint64_t content_hash, const std::string &kind,
     recordUse(fs::path(path).filename().string());
 }
 
+std::optional<MappingStore::Entry>
+MappingCache::load(uint64_t content_hash, const std::string &kind)
+{
+    std::optional<CachedMapping> hit = lookup(content_hash, kind);
+    if (!hit)
+        return std::nullopt;
+    MappingStore::Entry entry;
+    entry.mapping = std::move(hit->mapping);
+    entry.tree = std::move(hit->tree);
+    entry.candidates = hit->candidates;
+    return entry;
+}
+
+void
+MappingCache::save(uint64_t content_hash, const std::string &kind,
+                   const MappingStore::Entry &entry)
+{
+    store(content_hash, kind, entry.mapping,
+          entry.tree ? &*entry.tree : nullptr, entry.candidates);
+}
+
 std::vector<CacheIndexEntry>
 MappingCache::loadIndex() const
 {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "fermion/majorana.hpp"
+#include "mapping/mapper.hpp"
 #include "mapping/mapping.hpp"
 #include "tree/ternary_tree.hpp"
 
@@ -73,7 +74,12 @@ struct CacheGcStats
     uint64_t bytesAfter = 0;  //!< entry bytes surviving
 };
 
-class MappingCache
+/**
+ * Implements hatt::MappingStore, so MapperRegistry::build() layers this
+ * cache over any cacheable mapper (the load/save adapters below wrap
+ * lookup/store).
+ */
+class MappingCache : public MappingStore
 {
   public:
     /** Creates @p dir (and parents) on first store if missing. */
@@ -106,6 +112,14 @@ class MappingCache
                const FermionQubitMapping &mapping,
                const TernaryTree *tree = nullptr,
                std::optional<uint64_t> candidates = std::nullopt);
+
+    /** MappingStore adapter over lookup() — the registry's cache hook. */
+    std::optional<MappingStore::Entry>
+    load(uint64_t content_hash, const std::string &kind) override;
+
+    /** MappingStore adapter over store(). */
+    void save(uint64_t content_hash, const std::string &kind,
+              const MappingStore::Entry &entry) override;
 
     /** Path of the index file (<dir>/index.json). */
     std::string indexPath() const;

@@ -17,10 +17,7 @@
 #include "io/fermion_text.hpp"
 #include "io/serialize.hpp"
 #include "io/stream.hpp"
-#include "mapping/balanced_tree.hpp"
-#include "mapping/bravyi_kitaev.hpp"
-#include "mapping/hatt.hpp"
-#include "mapping/jordan_wigner.hpp"
+#include "mapping/mapper.hpp"
 #include "mapping/verify.hpp"
 
 namespace hatt::io {
@@ -35,19 +32,30 @@ const char *kUsage =
     "commands:\n"
     "  map     <input>         build a fermion-to-qubit mapping\n"
     "  compile <input>         map + qubit Hamiltonian + metrics\n"
-    "  batch   <dir|manifest>  compile every input in parallel with a\n"
-    "                          shared mapping cache; emits\n"
-    "                          batch_report.json + batch_stats.json\n"
+    "  batch   <dir|manifest>  compile every (input, mapping) pair in\n"
+    "                          parallel with a shared mapping cache;\n"
+    "                          emits batch_report.json + batch_stats.json\n"
+    "  mappings                list registered mapping kinds and their\n"
+    "                          capabilities (--json for machine use)\n"
     "  stats   <input>         parse/preprocess summary + content hash\n"
     "  verify  <mapping.json>  check mapping validity + vacuum\n"
     "  cache gc   <dir>        evict cache entries, rewrite index.json\n"
     "  cache list <dir>        print the cache index as JSON\n"
     "\n"
     "options (map/compile/batch/stats):\n"
-    "  --mapping KIND   hatt | hatt-unopt | jw | bk | btt  [hatt]\n"
+    "  --mapping KIND   a registered kind (see `hattc mappings`); batch\n"
+    "                   accepts a comma list to fan every input across\n"
+    "                   several kinds                      [hatt]\n"
     "  --format FMT     auto | ops | fcidump               [auto]\n"
+    "                   (batch: applies only to inputs without a\n"
+    "                   recognized extension)\n"
     "  -o, --out DIR    output directory                   [out]\n"
     "  --cache DIR      content-addressed mapping cache\n"
+    "\n"
+    "options (batch):\n"
+    "  --glob PATTERN   filter recursive directory discovery (* and ?;\n"
+    "                   patterns with '/' match the relative path)\n"
+    "  --jobs N         cap the work pool at N workers for this batch\n"
     "\n"
     "options (verify):\n"
     "  --require-vacuum fail (exit 1) unless the mapping also\n"
@@ -66,12 +74,15 @@ struct Options
     std::string command;
     std::string cacheCommand; //!< gc | list (command == "cache")
     std::string input;
-    std::string mapping = "hatt";
+    std::string mapping = "hatt"; //!< batch: may be a comma list
     std::string outDir = "out";
     std::string cacheDir; //!< empty = no cache
+    std::string glob;     //!< batch directory-discovery filter
     InputFormat format = InputFormat::Auto;
+    unsigned jobs = 0;    //!< batch worker cap; 0 = pool default
     bool requireVacuum = false;
     bool check = false;
+    bool json = false;    //!< mappings: machine-readable listing
     std::optional<uint64_t> maxBytes;
     std::optional<int64_t> maxAge;
 };
@@ -107,6 +118,43 @@ parseUnsigned(const std::string &opt, const std::string &text,
     }
 }
 
+/**
+ * Split a comma list ("hatt,jw") into kinds.
+ * @throws std::invalid_argument on an empty segment ("hatt,,jw"); the
+ * CLI and manifest parsers translate it into their own error types.
+ */
+std::vector<std::string>
+splitKinds(const std::string &list)
+{
+    std::vector<std::string> out;
+    size_t begin = 0;
+    while (begin <= list.size()) {
+        size_t comma = list.find(',', begin);
+        size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end == begin)
+            throw std::invalid_argument("empty mapping kind in '" + list +
+                                        "'");
+        out.push_back(list.substr(begin, end - begin));
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    return out;
+}
+
+/**
+ * Resolve @p kind to its canonical registered spelling ("JW" -> "jw"),
+ * so case variants cannot produce distinct batch keys / output dirs /
+ * metric names for the same mapper. Unknown kinds pass through verbatim
+ * for the caller's own diagnostics.
+ */
+std::string
+canonicalKind(const std::string &kind)
+{
+    const Mapper *mapper = MapperRegistry::instance().find(kind);
+    return mapper ? mapper->name() : kind;
+}
+
 Options
 parseArgs(const std::vector<std::string> &args)
 {
@@ -115,8 +163,9 @@ parseArgs(const std::vector<std::string> &args)
     Options opt;
     opt.command = args[0];
     if (opt.command != "map" && opt.command != "compile" &&
-        opt.command != "batch" && opt.command != "stats" &&
-        opt.command != "verify" && opt.command != "cache")
+        opt.command != "batch" && opt.command != "mappings" &&
+        opt.command != "stats" && opt.command != "verify" &&
+        opt.command != "cache")
         throw UsageError("unknown command '" + opt.command + "'");
 
     auto value = [&](size_t &i) -> const std::string & {
@@ -142,6 +191,23 @@ parseArgs(const std::vector<std::string> &args)
             opt.outDir = value(i);
         } else if (a == "--cache") {
             opt.cacheDir = value(i);
+        } else if (a == "--glob") {
+            if (opt.command != "batch")
+                throw UsageError("--glob only applies to batch");
+            opt.glob = value(i);
+            if (opt.glob.empty())
+                throw UsageError("--glob needs a non-empty pattern");
+        } else if (a == "--jobs") {
+            if (opt.command != "batch")
+                throw UsageError("--jobs only applies to batch");
+            uint64_t n = parseUnsigned(a, value(i), 1024);
+            if (n == 0)
+                throw UsageError("--jobs needs at least 1 worker");
+            opt.jobs = static_cast<unsigned>(n);
+        } else if (a == "--json") {
+            if (opt.command != "mappings")
+                throw UsageError("--json only applies to mappings");
+            opt.json = true;
         } else if (a == "--require-vacuum") {
             if (opt.command != "verify")
                 throw UsageError("--require-vacuum only applies to "
@@ -180,14 +246,38 @@ parseArgs(const std::vector<std::string> &args)
     if (opt.maxBytes || opt.maxAge || opt.check)
         throw UsageError("--max-bytes/--max-age/--check only apply to "
                          "the cache command");
+    if (opt.command == "mappings") {
+        if (!opt.input.empty())
+            throw UsageError("mappings takes no arguments");
+        return opt;
+    }
     if (opt.input.empty())
         throw UsageError(opt.command + " needs an input file");
 
-    bool known = false;
-    for (const std::string &k : hattcMappingKinds())
-        known = known || k == opt.mapping;
-    if (!known)
-        throw UsageError("unknown mapping '" + opt.mapping + "'");
+    // Validate --mapping against the registry — the single source of
+    // truth the `mappings` subcommand lists — and rewrite it to the
+    // canonical spellings. batch accepts a comma list (fan every input
+    // across the kinds); everything else one kind.
+    const auto check_kind = [](const std::string &kind) {
+        Status status = MapperRegistry::instance().checkKind(kind);
+        if (!status.ok())
+            throw UsageError(status.message());
+    };
+    std::vector<std::string> kinds;
+    try {
+        kinds = splitKinds(opt.mapping);
+    } catch (const std::invalid_argument &e) {
+        throw UsageError(std::string("--mapping has an ") + e.what());
+    }
+    if (opt.command != "batch" && kinds.size() != 1)
+        throw UsageError("--mapping takes one kind for " + opt.command +
+                         " (a comma list only applies to batch)");
+    opt.mapping.clear();
+    for (const std::string &kind : kinds) {
+        check_kind(kind);
+        opt.mapping += (opt.mapping.empty() ? "" : ",") +
+                       canonicalKind(kind);
+    }
     return opt;
 }
 
@@ -215,61 +305,26 @@ detectFormat(const std::string &path)
     return InputFormat::Ops;
 }
 
-/** A built mapping plus provenance (tree, stats, cache outcome). */
-struct BuiltMapping
+/**
+ * Build @p kind over @p problem through the MapperRegistry — the one
+ * construction path every hattc command and the batch service share.
+ * The cache (when given) plugs in as the registry's MappingStore, so
+ * cache keying and hit/miss accounting live behind the registry.
+ * @throws ParseError on a non-ok Status (unknown kind, bad request).
+ */
+MappingResult
+buildRequestedMapping(const std::string &kind, const LoadedProblem &problem,
+                      MappingCache *cache)
 {
-    FermionQubitMapping mapping;
-    std::optional<TernaryTree> tree;
-    std::optional<HattStats> stats;
-    double seconds = 0.0;
-    bool cacheHit = false;
-};
-
-BuiltMapping
-buildMappingKind(const std::string &kind, const LoadedProblem &problem,
-                 MappingCache *cache)
-{
-    if (cache) {
-        if (auto hit = cache->lookup(problem.contentHash, kind)) {
-            BuiltMapping out;
-            out.mapping = std::move(hit->mapping);
-            out.tree = std::move(hit->tree);
-            if (hit->candidates) {
-                out.stats.emplace();
-                out.stats->candidatesEvaluated = *hit->candidates;
-            }
-            out.cacheHit = true;
-            return out;
-        }
-    }
-
-    BuiltMapping out;
-    Timer timer;
-    const uint32_t n = problem.numModes;
-    if (kind == "jw") {
-        out.mapping = jordanWignerMapping(n);
-    } else if (kind == "bk") {
-        out.mapping = bravyiKitaevMapping(n);
-    } else if (kind == "btt") {
-        out.mapping = balancedTernaryTreeMapping(n);
-    } else {
-        HattOptions hopt;
-        hopt.vacuumPairing = kind != "hatt-unopt";
-        hopt.descCache = hopt.vacuumPairing;
-        HattResult res = buildHattMapping(problem.poly, hopt);
-        out.mapping = std::move(res.mapping);
-        out.tree = std::move(res.tree);
-        out.stats = std::move(res.stats);
-    }
-    out.seconds = timer.seconds();
-
-    if (cache)
-        cache->store(problem.contentHash, kind, out.mapping,
-                     out.tree ? &*out.tree : nullptr,
-                     out.stats ? std::optional<uint64_t>(
-                                     out.stats->candidatesEvaluated)
-                               : std::nullopt);
-    return out;
+    MappingRequest req;
+    req.kind = kind;
+    req.poly = &problem.poly;
+    req.contentHash = problem.contentHash;
+    StatusOr<MappingResult> built =
+        MapperRegistry::instance().build(req, cache);
+    if (!built.ok())
+        throw ParseError(built.status().message());
+    return std::move(built).value();
 }
 
 /** BENCH_*.json record shape (see bench/README.md). */
@@ -308,7 +363,7 @@ ensureOutDir(const std::string &dir)
 struct CompileOutcome
 {
     LoadedProblem problem;
-    BuiltMapping built;
+    MappingResult built;
     std::optional<HamiltonianMetrics> qubitMetrics;
     double totalSeconds = 0.0;
 };
@@ -326,7 +381,7 @@ compileInput(const std::string &path, InputFormat format,
 {
     CompileOutcome res;
     res.problem = loadProblem(path, format);
-    res.built = buildMappingKind(kind, res.problem, cache);
+    res.built = buildRequestedMapping(kind, res.problem, cache);
 
     ensureOutDir(out_dir);
     const fs::path dir(out_dir);
@@ -338,9 +393,7 @@ compileInput(const std::string &path, InputFormat format,
                      treeToJson(*res.built.tree));
 
     std::optional<uint64_t> pauli_weight;
-    std::optional<uint64_t> candidates;
-    if (res.built.stats)
-        candidates = res.built.stats->candidatesEvaluated;
+    std::optional<uint64_t> candidates = res.built.metrics.candidates;
 
     double map_seconds = 0.0;
     if (emit_qubit) {
@@ -359,11 +412,11 @@ compileInput(const std::string &path, InputFormat format,
                      pauliSumToJson(hq));
     }
 
-    res.totalSeconds = res.built.seconds + map_seconds;
+    res.totalSeconds = res.built.metrics.seconds + map_seconds;
     saveJsonFile((dir / (stem + ".metrics.json")).string(),
                  metricsDocument(stem + "/" + kind, res.totalSeconds,
                                  pauli_weight, candidates,
-                                 res.built.cacheHit));
+                                 res.built.metrics.cacheHit));
     return res;
 }
 
@@ -386,7 +439,7 @@ cmdMapOrCompile(const Options &opt, std::ostream &out)
     out << "content hash: " << hashToHex(problem.contentHash) << "\n";
     out << "mapping:      " << opt.mapping << " -> "
         << res.built.mapping.numQubits << " qubits"
-        << (res.built.cacheHit ? " [cache hit]" : "") << "\n";
+        << (res.built.metrics.cacheHit ? " [cache hit]" : "") << "\n";
     if (res.qubitMetrics)
         out << "qubit H:      " << res.qubitMetrics->numTerms
             << " non-identity terms, pauli weight "
@@ -404,8 +457,10 @@ cmdBatch(const Options &opt, std::ostream &out)
     BatchOptions bopt;
     bopt.outDir = opt.outDir;
     bopt.cacheDir = opt.cacheDir;
-    bopt.mapping = opt.mapping;
+    bopt.mappings = splitKinds(opt.mapping);
     bopt.format = opt.format;
+    bopt.glob = opt.glob;
+    bopt.jobs = opt.jobs;
     BatchCompiler compiler(bopt);
 
     std::vector<BatchItem> items = compiler.discoverInputs(opt.input);
@@ -420,18 +475,17 @@ cmdBatch(const Options &opt, std::ostream &out)
     saveJsonFile((dir / "batch_stats.json").string(),
                  BatchCompiler::statsDocument(results));
 
-    out << "batch:        " << results.size() << " input(s) from "
+    out << "batch:        " << results.size() << " work item(s) from "
         << opt.input << "\n";
     size_t failed = 0;
     for (const BatchItemResult &r : results) {
         if (r.ok) {
-            out << "  ok    " << r.item.name << "  " << r.item.mapping
-                << " -> " << r.numQubits << " qubits, weight "
-                << r.pauliWeight << (r.cacheHit ? "  [cache hit]" : "")
-                << "\n";
+            out << "  ok    " << r.item.key() << " -> " << r.numQubits
+                << " qubits, weight " << r.pauliWeight
+                << (r.cacheHit ? "  [cache hit]" : "") << "\n";
         } else {
             ++failed;
-            out << "  FAIL  " << r.item.name << "  " << r.error << "\n";
+            out << "  FAIL  " << r.item.key() << "  " << r.error << "\n";
         }
     }
     out << "summary:      " << results.size() - failed << " ok, " << failed
@@ -439,6 +493,45 @@ cmdBatch(const Options &opt, std::ostream &out)
     out << "wrote:        "
         << (dir / "batch_{report,stats}.json").string() << "\n";
     return failed == 0 ? 0 : 1;
+}
+
+int
+cmdMappings(const Options &opt, std::ostream &out)
+{
+    const MapperRegistry &registry = MapperRegistry::instance();
+    if (opt.json) {
+        JsonValue arr = JsonValue::array();
+        for (const std::string &kind : registry.kinds()) {
+            const Mapper *m = registry.find(kind);
+            const MapperCapabilities &caps = m->capabilities();
+            JsonValue rec = JsonValue::object();
+            rec.add("name", m->name());
+            rec.add("needs_hamiltonian", caps.needsHamiltonian);
+            rec.add("deterministic", caps.deterministic);
+            rec.add("cacheable", caps.cacheable);
+            rec.add("produces_tree", caps.producesTree);
+            rec.add("vacuum_preserving", caps.vacuumPreserving);
+            rec.add("summary", caps.summary);
+            arr.push(std::move(rec));
+        }
+        JsonValue doc = JsonValue::object();
+        doc.add("mappings", std::move(arr));
+        out << doc.dump(2) << "\n";
+        return 0;
+    }
+    for (const std::string &kind : registry.kinds()) {
+        const Mapper *m = registry.find(kind);
+        const MapperCapabilities &caps = m->capabilities();
+        out << m->name() << "\n    " << caps.summary << "\n    "
+            << (caps.needsHamiltonian ? "hamiltonian-adaptive"
+                                      : "modes-only")
+            << (caps.deterministic ? ", deterministic" : ", randomized")
+            << (caps.cacheable ? ", cacheable" : "")
+            << (caps.producesTree ? ", produces tree" : "")
+            << (caps.vacuumPreserving ? ", vacuum-preserving" : "")
+            << "\n";
+    }
+    return 0;
 }
 
 int
@@ -543,8 +636,11 @@ cmdCache(const Options &opt, std::ostream &out)
 const std::vector<std::string> &
 hattcMappingKinds()
 {
-    static const std::vector<std::string> kinds = {"hatt", "hatt-unopt",
-                                                   "jw", "bk", "btt"};
+    // Snapshot of the registry's kinds at first use: the CLI's --mapping
+    // validation, the usage diagnostics and `hattc mappings` all read
+    // the same MapperRegistry.
+    static const std::vector<std::string> kinds =
+        MapperRegistry::instance().kinds();
     return kinds;
 }
 
@@ -586,6 +682,50 @@ loadProblem(const std::string &path, InputFormat format)
 
 // ------------------------------------------------------------------ batch
 
+namespace {
+
+/** Iterative glob match: `*` (any run, including '/') and `?`. */
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    size_t p = 0, t = 0;
+    size_t star = std::string::npos, mark = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+/** ".ops"/".fcidump" (case-insensitive) -> format; nullopt otherwise. */
+std::optional<InputFormat>
+formatFromExtension(const fs::path &path)
+{
+    std::string ext = path.extension().string();
+    for (char &c : ext)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (ext == ".ops")
+        return InputFormat::Ops;
+    if (ext == ".fcidump")
+        return InputFormat::Fcidump;
+    return std::nullopt;
+}
+
+} // namespace
+
 BatchCompiler::BatchCompiler(BatchOptions options)
     : options_(std::move(options))
 {
@@ -595,28 +735,53 @@ std::vector<BatchItem>
 BatchCompiler::discoverInputs(const std::string &source) const
 {
     std::vector<BatchItem> items;
-    std::error_code ec;
-    if (fs::is_directory(source, ec)) {
-        for (const fs::directory_entry &de :
-             fs::directory_iterator(source, ec)) {
-            if (!de.is_regular_file())
-                continue;
-            std::string ext = de.path().extension().string();
-            for (char &c : ext)
-                c = static_cast<char>(
-                    std::tolower(static_cast<unsigned char>(c)));
-            if (ext != ".ops" && ext != ".fcidump")
-                continue;
+    const std::vector<std::string> &default_kinds = options_.mappings;
+    auto fan_out = [&](const std::string &path, const std::string &name,
+                       const std::vector<std::string> &kinds) {
+        for (const std::string &kind : kinds) {
             BatchItem item;
-            item.path = de.path().string();
-            item.name = de.path().filename().string();
-            item.mapping = options_.mapping;
+            item.path = path;
+            item.name = name;
+            item.mapping = canonicalKind(kind);
             items.push_back(std::move(item));
         }
-        if (ec)
+    };
+
+    std::error_code ec;
+    if (fs::is_directory(source, ec)) {
+        const fs::path root(source);
+        try {
+            for (const fs::directory_entry &de :
+                 fs::recursive_directory_iterator(root)) {
+                if (!de.is_regular_file())
+                    continue;
+                if (!formatFromExtension(de.path()))
+                    continue;
+                // The root-relative path is the item name: the scan is
+                // recursive, so a bare filename would falsely collide
+                // same-named inputs from different subdirectories.
+                const std::string rel =
+                    de.path().lexically_relative(root).generic_string();
+                if (!options_.glob.empty()) {
+                    // Patterns with '/' address the relative path;
+                    // plain patterns just the file name.
+                    const std::string target =
+                        options_.glob.find('/') != std::string::npos
+                            ? rel
+                            : de.path().filename().string();
+                    if (!globMatch(options_.glob, target))
+                        continue;
+                }
+                fan_out(de.path().string(), rel, default_kinds);
+            }
+        } catch (const fs::filesystem_error &e) {
             throw ParseError("cannot scan input directory " + source +
-                             ": " + ec.message());
+                             ": " + e.what());
+        }
     } else {
+        if (!options_.glob.empty())
+            throw ParseError("--glob only applies to directory sources, "
+                             "and " + source + " is a manifest");
         std::ifstream in(source);
         if (!in)
             throw ParseError("cannot open batch manifest: " + source);
@@ -628,38 +793,47 @@ BatchCompiler::discoverInputs(const std::string &source) const
             if (size_t hash = line.find('#'); hash != std::string::npos)
                 line.erase(hash);
             std::istringstream ls(line);
-            std::string path, kind, extra;
+            std::string path, kind_list, extra;
             if (!(ls >> path))
                 continue; // blank/comment line
-            if (ls >> kind) {
-                bool known = false;
-                for (const std::string &k : hattcMappingKinds())
-                    known = known || k == kind;
-                if (!known)
+            std::vector<std::string> kinds = default_kinds;
+            if (ls >> kind_list) {
+                try {
+                    kinds = splitKinds(kind_list);
+                } catch (const std::invalid_argument &e) {
                     throw ParseError(source + " line " +
-                                     std::to_string(lineno) +
-                                     ": unknown mapping '" + kind + "'");
+                                     std::to_string(lineno) + ": " +
+                                     e.what());
+                }
+                for (std::string &kind : kinds) {
+                    Status status =
+                        MapperRegistry::instance().checkKind(kind);
+                    if (!status.ok())
+                        throw ParseError(source + " line " +
+                                         std::to_string(lineno) + ": " +
+                                         status.message());
+                    kind = canonicalKind(kind);
+                }
                 if (ls >> extra)
                     throw ParseError(source + " line " +
                                      std::to_string(lineno) +
                                      ": unexpected token '" + extra +
                                      "'");
             }
-            BatchItem item;
             fs::path p(path);
-            item.path = p.is_absolute() ? p.string()
-                                        : (base / p).string();
-            item.name = p.filename().string();
-            item.mapping = kind.empty() ? options_.mapping : kind;
-            items.push_back(std::move(item));
+            fan_out(p.is_absolute() ? p.string() : (base / p).string(),
+                    p.filename().string(), kinds);
         }
     }
-    // Deterministic report order regardless of directory iteration or
-    // manifest shuffling: sort by (name, path).
+    // Deterministic report order regardless of directory iteration,
+    // manifest shuffling or fan-out: sort by (name, mapping, path).
     std::sort(items.begin(), items.end(),
               [](const BatchItem &a, const BatchItem &b) {
-                  return a.name != b.name ? a.name < b.name
-                                          : a.path < b.path;
+                  if (a.name != b.name)
+                      return a.name < b.name;
+                  if (a.mapping != b.mapping)
+                      return a.mapping < b.mapping;
+                  return a.path < b.path;
               });
     return items;
 }
@@ -667,26 +841,35 @@ BatchCompiler::discoverInputs(const std::string &source) const
 std::vector<BatchItemResult>
 BatchCompiler::run(std::vector<BatchItem> items) const
 {
+    // Per-batch worker cap: layered over HATT_THREADS for this run only
+    // (results are bit-identical for every cap by the pool contract).
+    ScopedParallelThreads thread_scope(options_.jobs);
+
     std::optional<MappingCache> cache;
     if (!options_.cacheDir.empty())
         cache.emplace(options_.cacheDir);
 
     std::vector<BatchItemResult> results(items.size());
-    for (size_t i = 0; i < items.size(); ++i)
+    for (size_t i = 0; i < items.size(); ++i) {
         results[i].item = std::move(items[i]);
+        // Canonicalize case-variant kinds from caller-built item lists
+        // ("HATT" vs "hatt"), so they cannot slip past the duplicate
+        // guard below as distinct keys racing on one output directory.
+        results[i].item.mapping = canonicalKind(results[i].item.mapping);
+    }
 
-    // Report names key the per-input output directories, so they must
-    // be unique even when a caller passes an unsorted item list: two
-    // workers compiling the same name would race on the same artifact
-    // files. The first occurrence compiles, later ones fail.
+    // Report keys (name:mapping) key the per-item output directories,
+    // so they must be unique even when a caller passes an unsorted item
+    // list: two workers compiling the same key would race on the same
+    // artifact files. The first occurrence compiles, later ones fail.
     std::set<std::string> seen;
     for (BatchItemResult &r : results)
-        if (!seen.insert(r.item.name).second)
-            r.error = "duplicate input name '" + r.item.name +
+        if (!seen.insert(r.item.key()).second)
+            r.error = "duplicate work item '" + r.item.key() +
                       "' in batch";
 
-    // One input per chunk: inputs are the coarse parallel grain, and
-    // each input's own stages (sharded preprocessing, candidate scans,
+    // One work item per chunk: items are the coarse parallel grain, and
+    // each item's own stages (sharded preprocessing, candidate scans,
     // qubit mapping) dispatch nested and run inline on this worker.
     parallelFor(results.size(), 1, [&](size_t i) {
         BatchItemResult &r = results[i];
@@ -695,11 +878,16 @@ BatchCompiler::run(std::vector<BatchItem> items) const
         Timer timer;
         try {
             const std::string out_dir =
-                (fs::path(options_.outDir) / r.item.name).string();
+                (fs::path(options_.outDir) / r.item.key()).string();
+            // A recognized extension always wins over a forced format:
+            // one --format must not misparse a mixed .ops/.fcidump
+            // corpus — it only covers extension-less inputs.
+            InputFormat format =
+                formatFromExtension(r.item.path)
+                    .value_or(options_.format);
             CompileOutcome res =
-                compileInput(r.item.path, options_.format,
-                             r.item.mapping, out_dir,
-                             cache ? &*cache : nullptr, true);
+                compileInput(r.item.path, format, r.item.mapping,
+                             out_dir, cache ? &*cache : nullptr, true);
             r.format = res.problem.format;
             r.numModes = res.problem.numModes;
             r.fermionTerms = res.problem.fermionTerms;
@@ -707,9 +895,8 @@ BatchCompiler::run(std::vector<BatchItem> items) const
             r.contentHash = res.problem.contentHash;
             r.numQubits = res.built.mapping.numQubits;
             r.pauliWeight = res.qubitMetrics->pauliWeight;
-            if (res.built.stats)
-                r.candidates = res.built.stats->candidatesEvaluated;
-            r.cacheHit = res.built.cacheHit;
+            r.candidates = res.built.metrics.candidates;
+            r.cacheHit = res.built.metrics.cacheHit;
             r.ok = true;
         } catch (const std::exception &e) {
             // One bad input must not abort the batch: report and move on.
@@ -736,12 +923,13 @@ BatchCompiler::reportDocument(const std::vector<BatchItemResult> &results)
 {
     JsonValue doc = JsonValue::object();
     doc.add("format", "hatt-batch-report");
-    doc.add("version", 1);
+    doc.add("version", 2);
     size_t ok = 0;
     uint64_t total_weight = 0;
     JsonValue inputs = JsonValue::array();
     for (const BatchItemResult &r : results) {
         JsonValue rec = JsonValue::object();
+        rec.add("key", r.item.key());
         rec.add("name", r.item.name);
         rec.add("mapping", r.item.mapping);
         rec.add("status", r.ok ? "ok" : "error");
@@ -778,13 +966,13 @@ BatchCompiler::statsDocument(const std::vector<BatchItemResult> &results)
 {
     JsonValue doc = JsonValue::object();
     doc.add("format", "hatt-batch-stats");
-    doc.add("version", 1);
+    doc.add("version", 2);
     size_t hits = 0;
     double seconds = 0.0;
     JsonValue inputs = JsonValue::array();
     for (const BatchItemResult &r : results) {
         JsonValue rec = JsonValue::object();
-        rec.add("name", r.item.name);
+        rec.add("key", r.item.key());
         rec.add("seconds", r.seconds);
         rec.add("cache_hit", r.cacheHit);
         inputs.push(std::move(rec));
@@ -813,6 +1001,8 @@ runHattc(const std::vector<std::string> &args, std::ostream &out,
             return cmdVerify(opt, out);
         if (opt.command == "batch")
             return cmdBatch(opt, out);
+        if (opt.command == "mappings")
+            return cmdMappings(opt, out);
         if (opt.command == "cache")
             return cmdCache(opt, out);
         return cmdMapOrCompile(opt, out);

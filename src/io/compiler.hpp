@@ -13,13 +13,19 @@
  * Subcommands:
  *   map     <input>   mapping (+ tree) JSON, with metrics
  *   compile <input>   map + qubit Hamiltonian JSON + BENCH-shape metrics
- *   batch   <dir|manifest>  compile every input in parallel over the
- *                     work pool, sharing one mapping cache; emits a
- *                     deterministic batch_report.json plus a volatile
+ *   batch   <dir|manifest>  compile every (input, mapping) work item in
+ *                     parallel over the work pool, sharing one mapping
+ *                     cache; emits a deterministic batch_report.json
+ *                     (v2, rows keyed name:mapping) plus a volatile
  *                     batch_stats.json (timings, cache hits)
+ *   mappings          list the MapperRegistry (names + capabilities)
  *   stats   <input>   parse/preprocess summary + content hash
  *   verify  <mapping.json>  validity + vacuum-preservation check
  *   cache gc|list <dir>     cache eviction / index inspection
+ *
+ * Every mapping is constructed through hatt::MapperRegistry — the CLI
+ * validates --mapping against it, `hattc mappings` lists it, and the
+ * shared MappingCache plugs in behind it as a MappingStore.
  */
 
 #include <cstdint>
@@ -58,12 +64,19 @@ LoadedProblem loadProblem(const std::string &path,
 
 // ------------------------------------------------------------------ batch
 
-/** One unit of batch work: an input file plus its mapping kind. */
+/** One unit of batch work: an (input file, mapping kind) pair. */
 struct BatchItem
 {
     std::string path;    //!< input file path
-    std::string name;    //!< report key: the input's file name
+    /** Report name: the root-relative path for directory discovery
+        (the scan is recursive — bare filenames would collide across
+        subdirectories), the file name for manifest lines. */
+    std::string name;
     std::string mapping; //!< mapping kind to build for this input
+
+    /** Report/output-directory key: "<name>:<mapping>". One batch may
+        compile the same input under several kinds — keys stay unique. */
+    std::string key() const { return name + ":" + mapping; }
 };
 
 /** Per-input outcome of a batch run. */
@@ -94,8 +107,27 @@ struct BatchOptions
 {
     std::string outDir = "out";
     std::string cacheDir; //!< empty = no shared cache
-    std::string mapping = "hatt"; //!< default kind; items may override
-    InputFormat format = InputFormat::Auto; //!< forced for every input
+
+    /** Default mapping kinds: every discovered input fans out across all
+        of them (manifest lines may override per input). */
+    std::vector<std::string> mappings = {"hatt"};
+
+    /**
+     * Forced input format. Applies only to inputs without a recognized
+     * extension — a `.ops` / `.fcidump` file always parses as what its
+     * extension says, so one forced format cannot misparse a mixed
+     * corpus. Auto sniffs extension-less inputs.
+     */
+    InputFormat format = InputFormat::Auto;
+
+    /** Filename/relative-path glob (`*`, `?`) filtering directory
+        discovery; empty = every .ops/.fcidump. Patterns containing '/'
+        match the path relative to the scanned directory. */
+    std::string glob;
+
+    /** Per-batch worker cap layered over HATT_THREADS via
+        ScopedParallelThreads; 0 = inherit the pool configuration. */
+    unsigned jobs = 0;
 };
 
 /**
@@ -106,15 +138,15 @@ struct BatchOptions
  * file can never abort the batch. A failing input is reported and the
  * rest of the batch proceeds.
  *
- * Artifacts: every input compiles into <outDir>/<name>/ exactly as
- * `hattc compile` would, plus two batch documents:
+ * Artifacts: every work item compiles into <outDir>/<name>:<mapping>/
+ * exactly as `hattc compile` would, plus two batch documents:
  *
- *  - batch_report.json ("hatt-batch-report" v1): per-input status and
+ *  - batch_report.json ("hatt-batch-report" v2): per-item status and
  *    the deterministic outcome fields (modes, terms, content hash,
- *    qubits, pauli weight, candidates), ordered by (name, path) —
- *    byte-identical for every HATT_THREADS value and across cold/warm
- *    cache runs;
- *  - batch_stats.json ("hatt-batch-stats" v1): the volatile outcome
+ *    qubits, pauli weight, candidates), rows keyed "<name>:<mapping>"
+ *    and ordered by (name, mapping, path) — byte-identical for every
+ *    HATT_THREADS / --jobs value and across cold/warm cache runs;
+ *  - batch_stats.json ("hatt-batch-stats" v2): the volatile outcome
  *    (seconds, cache hits) in the same order.
  */
 class BatchCompiler
@@ -124,12 +156,15 @@ class BatchCompiler
 
     /**
      * Build the work list from @p source: a directory is scanned
-     * (non-recursively) for *.ops / *.fcidump files; anything else is
-     * read as a manifest — one input path per line, relative to the
-     * manifest's directory, with an optional mapping kind after the
-     * path ('#' comments and blank lines ignored). Items are sorted by
-     * (name, path); a name collision marks the later item as an error
-     * at run() time.
+     * RECURSIVELY for *.ops / *.fcidump files (optionally narrowed by
+     * BatchOptions::glob); anything else is read as a manifest — one
+     * input path per line, relative to the manifest's directory, with
+     * an optional comma-separated mapping-kind list after the path
+     * ('#' comments and blank lines ignored; kinds are validated
+     * against the MapperRegistry). Every input fans out into one item
+     * per mapping kind. Items are sorted by (name, mapping, path); a
+     * (name, mapping) collision marks the later item as an error at
+     * run() time.
      * @throws ParseError on an unreadable source or bad manifest line.
      */
     std::vector<BatchItem> discoverInputs(const std::string &source) const;
@@ -160,7 +195,12 @@ class BatchCompiler
 int runHattc(const std::vector<std::string> &args, std::ostream &out,
              std::ostream &err);
 
-/** Canonical mapping kind strings accepted by --mapping. */
+/**
+ * Canonical mapping kind strings accepted by --mapping: a snapshot of
+ * MapperRegistry::instance().kinds() taken on first use. `hattc
+ * mappings` lists the same registry, so the CLI surface has exactly one
+ * source of truth.
+ */
 const std::vector<std::string> &hattcMappingKinds();
 
 } // namespace hatt::io

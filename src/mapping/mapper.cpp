@@ -1,0 +1,334 @@
+#include "mapping/mapper.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "mapping/balanced_tree.hpp"
+#include "mapping/bravyi_kitaev.hpp"
+#include "mapping/hatt.hpp"
+#include "mapping/jordan_wigner.hpp"
+
+namespace hatt {
+
+namespace {
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+/** Resolved mode count of a validated request (poly wins when present). */
+uint32_t
+requestModes(const MappingRequest &req)
+{
+    return req.poly ? req.poly->numModes() : req.numModes;
+}
+
+/** Reject option-bag keys outside @p allowed (typos must fail loudly). */
+Status
+checkOptionKeys(const MappingRequest &req,
+                std::initializer_list<const char *> allowed)
+{
+    for (const auto &[key, value] : req.options) {
+        bool known = false;
+        for (const char *a : allowed)
+            known = known || key == a;
+        if (!known)
+            return Status::invalidArgument(
+                "mapping '" + req.kind + "': unknown option '" + key +
+                "'");
+    }
+    return Status();
+}
+
+// ------------------------------------------------------ builtin mappers
+
+/** Modes-only closed-form constructions (JW, BK). */
+class FormulaMapper final : public Mapper
+{
+  public:
+    using Builder = FermionQubitMapping (*)(uint32_t);
+
+    FormulaMapper(std::string name, std::string summary, Builder builder)
+        : name_(std::move(name)), builder_(builder)
+    {
+        caps_.needsHamiltonian = false;
+        caps_.deterministic = true;
+        caps_.cacheable = true;
+        caps_.producesTree = false;
+        caps_.vacuumPreserving = true;
+        caps_.summary = std::move(summary);
+    }
+
+    const std::string &name() const override { return name_; }
+    const MapperCapabilities &capabilities() const override { return caps_; }
+
+    StatusOr<MappingResult>
+    build(const MappingRequest &req) const override
+    {
+        if (Status s = checkOptionKeys(req, {}); !s.ok())
+            return s;
+        MappingResult out;
+        out.mapping = builder_(requestModes(req));
+        return out;
+    }
+
+  private:
+    std::string name_;
+    MapperCapabilities caps_;
+    Builder builder_;
+};
+
+/** Balanced ternary tree with the leaf-assignment policy as an option. */
+class BttMapper final : public Mapper
+{
+  public:
+    BttMapper()
+    {
+        caps_.needsHamiltonian = false;
+        caps_.deterministic = true;
+        caps_.cacheable = true;
+        caps_.producesTree = false;
+        caps_.vacuumPreserving = true; // the default "paired" policy
+        caps_.summary = "balanced ternary tree, ceil(log3(2N+1)) weight "
+                        "(options: assignment=paired|natural)";
+    }
+
+    const std::string &name() const override { return name_; }
+    const MapperCapabilities &capabilities() const override { return caps_; }
+
+    StatusOr<MappingResult>
+    build(const MappingRequest &req) const override
+    {
+        if (Status s = checkOptionKeys(req, {"assignment"}); !s.ok())
+            return s;
+        BttAssignment policy = BttAssignment::Paired;
+        if (auto it = req.options.find("assignment");
+            it != req.options.end()) {
+            if (it->second == "paired")
+                policy = BttAssignment::Paired;
+            else if (it->second == "natural")
+                policy = BttAssignment::Natural;
+            else
+                return Status::invalidArgument(
+                    "mapping 'btt': assignment must be 'paired' or "
+                    "'natural', got '" +
+                    it->second + "'");
+        }
+        MappingResult out;
+        out.mapping = balancedTernaryTreeMapping(requestModes(req), policy);
+        return out;
+    }
+
+  private:
+    std::string name_ = "btt";
+    MapperCapabilities caps_;
+};
+
+/** The HATT family: Hamiltonian-adaptive, tree-producing, stats-rich. */
+class HattMapper final : public Mapper
+{
+  public:
+    HattMapper(std::string name, std::string summary, bool vacuum_pairing)
+        : name_(std::move(name)), vacuumPairing_(vacuum_pairing)
+    {
+        caps_.needsHamiltonian = true;
+        caps_.deterministic = true;
+        caps_.cacheable = true;
+        caps_.producesTree = true;
+        caps_.vacuumPreserving = vacuum_pairing;
+        caps_.summary = std::move(summary);
+    }
+
+    const std::string &name() const override { return name_; }
+    const MapperCapabilities &capabilities() const override { return caps_; }
+
+    StatusOr<MappingResult>
+    build(const MappingRequest &req) const override
+    {
+        if (Status s = checkOptionKeys(req, {}); !s.ok())
+            return s;
+        HattOptions hopt;
+        hopt.vacuumPairing = vacuumPairing_;
+        hopt.descCache = vacuumPairing_;
+        HattResult res = buildHattMapping(*req.poly, hopt);
+        MappingResult out;
+        out.mapping = std::move(res.mapping);
+        out.tree = std::move(res.tree);
+        out.metrics.candidates = res.stats.candidatesEvaluated;
+        out.metrics.counters["predicted_weight"] = res.stats.predictedWeight;
+        out.metrics.counters["steps"] =
+            static_cast<uint64_t>(res.stats.stepWeights.size());
+        return out;
+    }
+
+  private:
+    std::string name_;
+    MapperCapabilities caps_;
+    bool vacuumPairing_;
+};
+
+void
+registerBuiltinMappers(MapperRegistry &reg)
+{
+    // Registration failures here are programming errors (fixed names).
+    reg.add(std::make_unique<FormulaMapper>(
+        "jw", "Jordan-Wigner, linear-weight Z chains", jordanWignerMapping));
+    reg.add(std::make_unique<FormulaMapper>(
+        "bk", "Bravyi-Kitaev over the Fenwick tree, O(log N) weight",
+        bravyiKitaevMapping));
+    reg.add(std::make_unique<BttMapper>());
+    reg.add(std::make_unique<HattMapper>(
+        "hatt",
+        "Hamiltonian-adaptive ternary tree (Alg. 2+3), vacuum-preserving",
+        true));
+    reg.add(std::make_unique<HattMapper>(
+        "hatt-unopt",
+        "Hamiltonian-adaptive ternary tree (Alg. 1), free triples",
+        false));
+}
+
+} // namespace
+
+// --------------------------------------------------------------- registry
+
+MapperRegistry &
+MapperRegistry::instance()
+{
+    static struct Holder
+    {
+        MapperRegistry reg;
+        Holder() { registerBuiltinMappers(reg); }
+    } holder;
+    return holder.reg;
+}
+
+Status
+MapperRegistry::add(std::unique_ptr<Mapper> mapper)
+{
+    if (!mapper)
+        return Status::invalidArgument("cannot register a null mapper");
+    const std::string key = lowered(mapper->name());
+    if (key.empty())
+        return Status::invalidArgument("mapper name must be non-empty");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = mappers_.emplace(key, std::move(mapper));
+    if (!inserted)
+        return Status::alreadyExists("mapper '" + key +
+                                     "' is already registered");
+    return Status();
+}
+
+const Mapper *
+MapperRegistry::find(const std::string &kind) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = mappers_.find(lowered(kind));
+    return it == mappers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string>
+MapperRegistry::kinds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(mappers_.size());
+    for (const auto &[key, mapper] : mappers_)
+        out.push_back(mapper->name());
+    // Map order is already sorted by (lowercased) key.
+    return out;
+}
+
+Status
+MapperRegistry::checkKind(const std::string &kind) const
+{
+    if (find(kind))
+        return Status();
+    std::ostringstream ss;
+    ss << "unknown mapping '" << kind << "' (known:";
+    for (const std::string &k : kinds())
+        ss << " " << k;
+    ss << ")";
+    return Status::notFound(ss.str());
+}
+
+StatusOr<MappingResult>
+MapperRegistry::build(const MappingRequest &req, MappingStore *cache) const
+{
+    const Mapper *mapper = find(req.kind);
+    if (!mapper)
+        return checkKind(req.kind);
+    const MapperCapabilities &caps = mapper->capabilities();
+    if (caps.needsHamiltonian && !req.poly)
+        return Status::invalidArgument(
+            "mapping '" + mapper->name() +
+            "' is Hamiltonian-adaptive: the request must carry a "
+            "MajoranaPolynomial");
+    if (!req.poly && req.numModes == 0)
+        return Status::invalidArgument(
+            "request needs numModes or a MajoranaPolynomial");
+    if (req.poly && req.numModes != 0 &&
+        req.numModes != req.poly->numModes()) {
+        std::ostringstream ss;
+        ss << "request numModes (" << req.numModes
+           << ") disagrees with the Hamiltonian's mode count ("
+           << req.poly->numModes() << ")";
+        return Status::invalidArgument(ss.str());
+    }
+    if (requestModes(req) == 0)
+        return Status::invalidArgument("cannot map zero modes");
+
+    const bool consult_cache = cache && caps.cacheable &&
+                               req.contentHash.has_value();
+    if (consult_cache) {
+        if (std::optional<MappingStore::Entry> hit =
+                cache->load(*req.contentHash, mapper->name())) {
+            MappingResult out;
+            out.mapping = std::move(hit->mapping);
+            out.tree = std::move(hit->tree);
+            out.metrics.cacheHit = true;
+            out.metrics.candidates = hit->candidates;
+            return out;
+        }
+    }
+
+    std::optional<ScopedParallelThreads> thread_scope;
+    if (req.threads != 0)
+        thread_scope.emplace(req.threads);
+
+    Timer timer;
+    StatusOr<MappingResult> built = [&]() -> StatusOr<MappingResult> {
+        try {
+            return mapper->build(req);
+        } catch (const std::exception &e) {
+            return Status::internal("mapping '" + mapper->name() +
+                                    "' failed: " + e.what());
+        }
+    }();
+    if (!built.ok())
+        return built;
+    built->metrics.seconds = timer.seconds();
+
+    if (consult_cache) {
+        MappingStore::Entry entry;
+        entry.mapping = built->mapping;
+        entry.tree = built->tree;
+        entry.candidates = built->metrics.candidates;
+        try {
+            cache->save(*req.contentHash, mapper->name(), entry);
+        } catch (const std::exception &) {
+            // Persistence is best effort; the build already succeeded.
+        }
+    }
+    return built;
+}
+
+} // namespace hatt

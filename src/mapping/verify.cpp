@@ -64,6 +64,52 @@ preservesVacuum(const FermionQubitMapping &map)
     return true;
 }
 
+MappingCheck
+verifyMapperResult(const Mapper &mapper, const MappingRequest &request,
+                   const MappingResult &result)
+{
+    const MapperCapabilities &caps = mapper.capabilities();
+    const uint32_t modes =
+        request.poly ? request.poly->numModes() : request.numModes;
+
+    MappingCheck check = verifyMapping(result.mapping);
+    if (!check.valid)
+        return check;
+    if (result.mapping.numModes != modes) {
+        std::ostringstream ss;
+        ss << "mapper '" << mapper.name() << "' built " <<
+            result.mapping.numModes << " modes for a " << modes
+           << "-mode request";
+        return {false, ss.str()};
+    }
+    if (result.mapping.numQubits == 0)
+        return {false, "mapper '" + mapper.name() + "' built 0 qubits"};
+    if (caps.vacuumPreserving && !preservesVacuum(result.mapping))
+        return {false, "mapper '" + mapper.name() +
+                           "' claims vacuum preservation but a_j|0> != 0"};
+    if (caps.producesTree) {
+        if (!result.tree)
+            return {false, "mapper '" + mapper.name() +
+                               "' claims producesTree but returned none"};
+        FermionQubitMapping rederived =
+            mappingFromTree(*result.tree, result.mapping.name);
+        if (rederived.majorana.size() != result.mapping.majorana.size())
+            return {false, "mapper '" + mapper.name() +
+                               "' tree re-derives a different operator "
+                               "count"};
+        for (size_t i = 0; i < rederived.majorana.size(); ++i) {
+            if (!(rederived.majorana[i].string ==
+                  result.mapping.majorana[i].string)) {
+                std::ostringstream ss;
+                ss << "mapper '" << mapper.name() << "' tree re-derives "
+                   << "a different string for Majorana " << i;
+                return {false, ss.str()};
+            }
+        }
+    }
+    return {true, ""};
+}
+
 uint64_t
 operatorPauliWeight(const FermionQubitMapping &map)
 {

@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "mapping/mapper.hpp"
 #include "mapping/mapping.hpp"
 
 namespace hatt {
@@ -34,6 +35,19 @@ MappingCheck verifyMapping(const FermionQubitMapping &map);
  * c_2j i^{k_2j} + i c_2j+1 i^{k_2j+1} = 0.
  */
 bool preservesVacuum(const FermionQubitMapping &map);
+
+/**
+ * Registry-conformance check: does @p result honor the contract its
+ * mapper declared? Verifies algebraic validity (verifyMapping), mode and
+ * qubit-count consistency with the request, vacuum preservation whenever
+ * the capabilities promise it, and — for tree-producing mappers — that
+ * the returned tree is present and re-derives exactly the returned
+ * Majorana strings (mappingFromTree). Capabilities describe the default
+ * option bag, so callers run this on requests without overrides.
+ */
+MappingCheck verifyMapperResult(const Mapper &mapper,
+                                const MappingRequest &request,
+                                const MappingResult &result);
 
 /** Summed Pauli weight of the 2N Majorana strings themselves. */
 uint64_t operatorPauliWeight(const FermionQubitMapping &map);

@@ -303,29 +303,38 @@ TEST(Hattc, BatchReportDeterministicAcrossThreadsAndAllHitsWhenWarm)
         io::loadJsonFile((dir / "t1/batch_stats.json").string());
     JsonValue warm =
         io::loadJsonFile((dir / "warm/batch_stats.json").string());
+    EXPECT_EQ(cold.at("version").asInt(), 2);
     EXPECT_EQ(cold.at("summary").at("cache_hits").asInt(), 0);
     EXPECT_EQ(warm.at("summary").at("cache_hits").asInt(),
               warm.at("summary").at("inputs").asInt());
     EXPECT_GT(warm.at("summary").at("inputs").asInt(), 0);
 
-    // The report carries the paper's recorded outcomes for the corpus.
+    // The v2 report keys rows "<name>:<mapping>" and carries the
+    // paper's recorded outcomes for the corpus.
     JsonValue doc = JsonValue::parse(report);
+    EXPECT_EQ(doc.at("format").asString(), "hatt-batch-report");
+    EXPECT_EQ(doc.at("version").asInt(), 2);
     EXPECT_EQ(doc.at("summary").at("failed").asInt(), 0);
     bool saw_h2 = false;
     for (const JsonValue &rec : doc.at("inputs").asArray()) {
         EXPECT_EQ(rec.at("status").asString(), "ok");
+        EXPECT_EQ(rec.at("key").asString(),
+                  rec.at("name").asString() + ":" +
+                      rec.at("mapping").asString());
         if (rec.at("name").asString() == "h2.ops") {
             saw_h2 = true;
+            EXPECT_EQ(rec.at("key").asString(), "h2.ops:hatt");
             EXPECT_EQ(rec.at("num_qubits").asInt(), 4);
             EXPECT_EQ(rec.at("pauli_weight").asInt(), 32);
         }
     }
     EXPECT_TRUE(saw_h2);
 
-    // Per-input artifacts are the `hattc compile` set, byte-identical
-    // between the thread counts.
-    EXPECT_EQ(slurp(dir / "t1/h2.ops/h2.qubit.json"),
-              slurp(dir / "t4/h2.ops/h2.qubit.json"));
+    // Per-item artifacts are the `hattc compile` set under the
+    // <name>:<mapping> key, byte-identical between the thread counts.
+    const std::string t1_qubit = slurp(dir / "t1/h2.ops:hatt/h2.qubit.json");
+    ASSERT_FALSE(t1_qubit.empty());
+    EXPECT_EQ(t1_qubit, slurp(dir / "t4/h2.ops:hatt/h2.qubit.json"));
 
     // The shared cache kept a consistent index; a gc pass preserves
     // consistency (nothing is stale yet, so nothing is evicted).
@@ -359,11 +368,11 @@ TEST(Hattc, BatchManifestSelectsInputsAndPerLineMappings)
         io::loadJsonFile((dir / "out/batch_report.json").string());
     const JsonValue &inputs = doc.at("inputs");
     ASSERT_EQ(inputs.size(), 2u);
-    // Sorted by name: eq3.ops (default kind from --mapping) then h2.ops
-    // (per-line override).
-    EXPECT_EQ(inputs.at(size_t{0}).at("name").asString(), "eq3.ops");
+    // Sorted by (name, mapping): eq3.ops (default kind from --mapping)
+    // then h2.ops (per-line override).
+    EXPECT_EQ(inputs.at(size_t{0}).at("key").asString(), "eq3.ops:btt");
     EXPECT_EQ(inputs.at(size_t{0}).at("mapping").asString(), "btt");
-    EXPECT_EQ(inputs.at(size_t{1}).at("name").asString(), "h2.ops");
+    EXPECT_EQ(inputs.at(size_t{1}).at("key").asString(), "h2.ops:jw");
     EXPECT_EQ(inputs.at(size_t{1}).at("mapping").asString(), "jw");
     EXPECT_EQ(inputs.at(size_t{1}).at("num_qubits").asInt(), 4);
 
@@ -378,6 +387,254 @@ TEST(Hattc, BatchManifestSelectsInputsAndPerLineMappings)
               0)
         << text;
     fs::remove_all(dir);
+}
+
+TEST(Hattc, BatchComparesMappingKindsOnOneInput)
+{
+    // The acceptance pin: ONE batch run compiles the same input under
+    // several mapping kinds, with distinct name:mapping report rows.
+    fs::path dir = scratchDir("fanout");
+    const std::string manifest = (dir / "corpus.txt").string();
+    {
+        std::ofstream os(manifest);
+        os << fs::absolute(dataFile("h2.ops")).string()
+           << " hatt,jw,btt\n";
+    }
+    std::string text;
+    ASSERT_EQ(run({"batch", manifest, "-o", (dir / "out").string()},
+                  &text),
+              0)
+        << text;
+
+    JsonValue doc =
+        io::loadJsonFile((dir / "out/batch_report.json").string());
+    const JsonValue &inputs = doc.at("inputs");
+    ASSERT_EQ(inputs.size(), 3u);
+    // Rows sorted by (name, mapping); every kind maps the same content.
+    EXPECT_EQ(inputs.at(size_t{0}).at("key").asString(), "h2.ops:btt");
+    EXPECT_EQ(inputs.at(size_t{1}).at("key").asString(), "h2.ops:hatt");
+    EXPECT_EQ(inputs.at(size_t{2}).at("key").asString(), "h2.ops:jw");
+    const std::string hash =
+        inputs.at(size_t{1}).at("content_hash").asString();
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(inputs.at(i).at("status").asString(), "ok");
+        EXPECT_EQ(inputs.at(i).at("content_hash").asString(), hash);
+        EXPECT_EQ(inputs.at(i).at("num_qubits").asInt(), 4);
+    }
+    // The kinds genuinely differ: HATT achieves the paper's weight 32,
+    // and each kind wrote its own artifact set.
+    EXPECT_EQ(inputs.at(size_t{1}).at("pauli_weight").asInt(), 32);
+    EXPECT_TRUE(fs::exists(dir / "out/h2.ops:hatt/h2.qubit.json"));
+    EXPECT_TRUE(fs::exists(dir / "out/h2.ops:jw/h2.qubit.json"));
+    EXPECT_TRUE(fs::exists(dir / "out/h2.ops:btt/h2.qubit.json"));
+
+    // --mapping with a comma list fans a whole directory the same way.
+    fs::path corpus = dir / "corpus";
+    fs::create_directories(corpus);
+    fs::copy_file(dataFile("eq3.ops"), corpus / "eq3.ops");
+    ASSERT_EQ(run({"batch", corpus.string(), "--mapping", "jw,bk", "-o",
+                   (dir / "out2").string()},
+                  &text),
+              0)
+        << text;
+    JsonValue doc2 =
+        io::loadJsonFile((dir / "out2/batch_report.json").string());
+    ASSERT_EQ(doc2.at("inputs").size(), 2u);
+    EXPECT_EQ(doc2.at("inputs").at(size_t{0}).at("key").asString(),
+              "eq3.ops:bk");
+    EXPECT_EQ(doc2.at("inputs").at(size_t{1}).at("key").asString(),
+              "eq3.ops:jw");
+    fs::remove_all(dir);
+}
+
+TEST(Hattc, BatchJobsCapIsDeterministicAndScoped)
+{
+    // --jobs layers a per-invocation worker cap over HATT_THREADS via
+    // setParallelThreads() scoping: reports are byte-identical for
+    // jobs ∈ {1, 4} and the pool config is restored afterwards.
+    fs::path dir = scratchDir("jobs");
+    setParallelThreads(2);
+    ASSERT_EQ(run({"batch", dataDir(), "--jobs", "1", "-o",
+                   (dir / "j1").string()}),
+              0);
+    EXPECT_EQ(parallelThreads(), 2u);
+    ASSERT_EQ(run({"batch", dataDir(), "--jobs", "4", "-o",
+                   (dir / "j4").string()}),
+              0);
+    EXPECT_EQ(parallelThreads(), 2u);
+    setParallelThreads(0);
+
+    const std::string report = slurp(dir / "j1/batch_report.json");
+    ASSERT_FALSE(report.empty());
+    EXPECT_EQ(report, slurp(dir / "j4/batch_report.json"));
+    fs::remove_all(dir);
+}
+
+TEST(Hattc, BatchDiscoversRecursivelyAndFiltersWithGlob)
+{
+    fs::path dir = scratchDir("glob");
+    fs::path corpus = dir / "corpus";
+    fs::create_directories(corpus / "sub");
+    fs::copy_file(dataFile("eq3.ops"), corpus / "eq3.ops");
+    fs::copy_file(dataFile("h2.fcidump"), corpus / "h2.fcidump");
+    fs::copy_file(dataFile("h2.ops"), corpus / "sub/nested.ops");
+
+    // Recursive discovery picks up the nested input, named by its
+    // root-relative path.
+    std::string text;
+    ASSERT_EQ(run({"batch", corpus.string(), "--mapping", "jw", "-o",
+                   (dir / "all").string()},
+                  &text),
+              0)
+        << text;
+    JsonValue all =
+        io::loadJsonFile((dir / "all/batch_report.json").string());
+    ASSERT_EQ(all.at("inputs").size(), 3u);
+    EXPECT_EQ(all.at("inputs").at(size_t{2}).at("key").asString(),
+              "sub/nested.ops:jw");
+    EXPECT_TRUE(
+        fs::exists(dir / "all/sub/nested.ops:jw/nested.qubit.json"));
+
+    // Same-named inputs in different subdirectories are distinct work
+    // items, not false duplicates (names are root-relative).
+    fs::create_directories(corpus / "sub2");
+    fs::copy_file(dataFile("h2.ops"), corpus / "sub2/nested.ops");
+    ASSERT_EQ(run({"batch", corpus.string(), "--mapping", "jw", "-o",
+                   (dir / "twins").string()},
+                  &text),
+              0)
+        << text;
+    JsonValue twins =
+        io::loadJsonFile((dir / "twins/batch_report.json").string());
+    ASSERT_EQ(twins.at("inputs").size(), 4u);
+    EXPECT_EQ(twins.at("summary").at("failed").asInt(), 0);
+    fs::remove_all(corpus / "sub2");
+
+    // A filename glob narrows to the .ops inputs.
+    ASSERT_EQ(run({"batch", corpus.string(), "--mapping", "jw", "--glob",
+                   "*.ops", "-o", (dir / "ops").string()},
+                  &text),
+              0)
+        << text;
+    JsonValue ops =
+        io::loadJsonFile((dir / "ops/batch_report.json").string());
+    ASSERT_EQ(ops.at("inputs").size(), 2u);
+    EXPECT_EQ(ops.at("inputs").at(size_t{0}).at("key").asString(),
+              "eq3.ops:jw");
+    EXPECT_EQ(ops.at("inputs").at(size_t{1}).at("key").asString(),
+              "sub/nested.ops:jw");
+
+    // A '/'-pattern matches the path relative to the scanned root.
+    ASSERT_EQ(run({"batch", corpus.string(), "--mapping", "jw", "--glob",
+                   "sub/*", "-o", (dir / "sub").string()},
+                  &text),
+              0)
+        << text;
+    JsonValue sub =
+        io::loadJsonFile((dir / "sub/batch_report.json").string());
+    ASSERT_EQ(sub.at("inputs").size(), 1u);
+    EXPECT_EQ(sub.at("inputs").at(size_t{0}).at("key").asString(),
+              "sub/nested.ops:jw");
+
+    // No matches at all is an input error, and globs cannot apply to
+    // manifests.
+    EXPECT_EQ(run({"batch", corpus.string(), "--glob", "*.nope", "-o",
+                   (dir / "none").string()},
+                  &text),
+              2);
+    const std::string manifest = (dir / "m.txt").string();
+    {
+        std::ofstream os(manifest);
+        os << fs::absolute(corpus / "eq3.ops").string() << "\n";
+    }
+    EXPECT_EQ(run({"batch", manifest, "--glob", "*.ops", "-o",
+                   (dir / "mf").string()},
+                  &text),
+              2);
+    EXPECT_NE(text.find("manifest"), std::string::npos) << text;
+    fs::remove_all(dir);
+}
+
+TEST(Hattc, BatchForcedFormatOnlyAppliesToExtensionlessInputs)
+{
+    // Regression: one forced --format used to be applied to EVERY
+    // input, silently misparsing mixed .ops/.fcidump corpora. The
+    // extension now wins; the forced format covers only inputs without
+    // a recognized extension.
+    fs::path dir = scratchDir("format");
+    fs::path corpus = dir / "corpus";
+    fs::create_directories(corpus);
+    fs::copy_file(dataFile("eq3.ops"), corpus / "eq3.ops");
+    fs::copy_file(dataFile("h2.fcidump"), corpus / "h2.fcidump");
+
+    std::string text;
+    ASSERT_EQ(run({"batch", corpus.string(), "--format", "ops", "-o",
+                   (dir / "out").string()},
+                  &text),
+              0)
+        << text;
+    JsonValue doc =
+        io::loadJsonFile((dir / "out/batch_report.json").string());
+    ASSERT_EQ(doc.at("inputs").size(), 2u);
+    EXPECT_EQ(doc.at("summary").at("failed").asInt(), 0);
+    EXPECT_EQ(doc.at("inputs").at(size_t{0}).at("input_format").asString(),
+              "ops");
+    EXPECT_EQ(doc.at("inputs").at(size_t{1}).at("input_format").asString(),
+              "fcidump");
+
+    // An extension-less input is exactly what the forced format is for:
+    // a manifest can name it and --format fcidump parses it as FCIDUMP.
+    fs::copy_file(dataFile("h2.fcidump"), dir / "bare");
+    const std::string manifest = (dir / "m.txt").string();
+    {
+        std::ofstream os(manifest);
+        os << "bare jw\n";
+    }
+    ASSERT_EQ(run({"batch", manifest, "--format", "fcidump", "-o",
+                   (dir / "out2").string()},
+                  &text),
+              0)
+        << text;
+    JsonValue doc2 =
+        io::loadJsonFile((dir / "out2/batch_report.json").string());
+    EXPECT_EQ(
+        doc2.at("inputs").at(size_t{0}).at("input_format").asString(),
+        "fcidump");
+    fs::remove_all(dir);
+}
+
+TEST(Hattc, MappingsSubcommandListsTheRegistry)
+{
+    // `hattc mappings` and hattcMappingKinds() read the same
+    // MapperRegistry — the CLI's single source of truth.
+    std::string text;
+    ASSERT_EQ(run({"mappings"}, &text), 0);
+    for (const std::string &kind : io::hattcMappingKinds())
+        EXPECT_NE(text.find(kind + "\n"), std::string::npos) << kind;
+
+    ASSERT_EQ(run({"mappings", "--json"}, &text), 0);
+    JsonValue doc = JsonValue::parse(text);
+    const JsonValue &arr = doc.at("mappings");
+    ASSERT_EQ(arr.size(), io::hattcMappingKinds().size());
+    for (size_t i = 0; i < arr.size(); ++i) {
+        const JsonValue &rec = arr.at(i);
+        EXPECT_EQ(rec.at("name").asString(), io::hattcMappingKinds()[i]);
+        EXPECT_TRUE(rec.at("deterministic").asBool());
+        EXPECT_TRUE(rec.at("cacheable").asBool());
+    }
+    // Capability spot checks: hatt is Hamiltonian-adaptive and emits a
+    // tree; jw is modes-only.
+    for (const JsonValue &rec : arr.asArray()) {
+        if (rec.at("name").asString() == "hatt") {
+            EXPECT_TRUE(rec.at("needs_hamiltonian").asBool());
+            EXPECT_TRUE(rec.at("produces_tree").asBool());
+            EXPECT_TRUE(rec.at("vacuum_preserving").asBool());
+        }
+        if (rec.at("name").asString() == "jw")
+            EXPECT_FALSE(rec.at("needs_hamiltonian").asBool());
+        if (rec.at("name").asString() == "hatt-unopt")
+            EXPECT_FALSE(rec.at("vacuum_preserving").asBool());
+    }
 }
 
 TEST(Hattc, BatchIsolatesFailingInputsAndFlagsDuplicates)
@@ -403,18 +660,20 @@ TEST(Hattc, BatchIsolatesFailingInputsAndFlagsDuplicates)
     EXPECT_EQ(doc.at("summary").at("failed").asInt(), 1);
     EXPECT_EQ(doc.at("summary").at("succeeded").asInt(), 1);
     const JsonValue &bad = doc.at("inputs").at(size_t{0});
-    EXPECT_EQ(bad.at("name").asString(), "bad.ops");
+    EXPECT_EQ(bad.at("key").asString(), "bad.ops:hatt");
     EXPECT_EQ(bad.at("status").asString(), "error");
     EXPECT_NE(bad.at("error").asString().find("line 2"),
               std::string::npos);
-    EXPECT_TRUE(fs::exists(dir / "out/eq3.ops/eq3.qubit.json"));
+    EXPECT_TRUE(fs::exists(dir / "out/eq3.ops:hatt/eq3.qubit.json"));
 
-    // Two manifest entries with the same file name collide on the
-    // per-input output directory: the later one is reported, not raced.
+    // Two manifest entries with the same (file name, mapping) pair
+    // collide on the per-item output directory: the later one is
+    // reported, not raced — including case-variant spellings of one
+    // kind ("HATT" vs default "hatt"), which canonicalize to one key.
     const std::string manifest = (dir / "dup.txt").string();
     {
         std::ofstream os(manifest);
-        os << fs::absolute(corpus / "eq3.ops").string() << "\n"
+        os << fs::absolute(corpus / "eq3.ops").string() << " HATT\n"
            << fs::absolute(dataFile("eq3.ops")).string() << "\n";
     }
     EXPECT_EQ(run({"batch", manifest, "-o", (dir / "out2").string()},
@@ -489,6 +748,31 @@ TEST(Hattc, ReportsUsageAndInputErrors)
     EXPECT_EQ(run({"map", "in.ops", "--format", "nope"}, &text), 2);
     EXPECT_EQ(run({"map", "/nonexistent/input.ops"}, &text), 2);
     EXPECT_NE(text.find("cannot open"), std::string::npos) << text;
+
+    // Unknown mapping kinds name the registry's full kind list, so the
+    // CLI diagnostic and `hattc mappings` cannot drift apart.
+    EXPECT_EQ(run({"map", "in.ops", "--mapping", "nope"}, &text), 2);
+    for (const std::string &kind : io::hattcMappingKinds())
+        EXPECT_NE(text.find(kind), std::string::npos) << kind;
+    // Registry lookup is case-insensitive, so display labels work too.
+    EXPECT_EQ(run({"map", "/nonexistent/input.ops", "--mapping", "JW"},
+                  &text),
+              2);
+    EXPECT_NE(text.find("cannot open"), std::string::npos) << text;
+
+    // Batch-only options and the comma-list validation.
+    EXPECT_EQ(run({"map", "in.ops", "--jobs", "2"}, &text), 2);
+    EXPECT_EQ(run({"map", "in.ops", "--glob", "*.ops"}, &text), 2);
+    EXPECT_EQ(run({"map", "in.ops", "--json"}, &text), 2);
+    EXPECT_EQ(run({"batch", "d", "--jobs", "0"}, &text), 2);
+    EXPECT_EQ(run({"batch", "d", "--jobs", "nope"}, &text), 2);
+    EXPECT_EQ(run({"batch", "d", "--glob", ""}, &text), 2);
+    EXPECT_EQ(run({"batch", "d", "--mapping", "hatt,,jw"}, &text), 2);
+    EXPECT_NE(text.find("empty mapping kind"), std::string::npos) << text;
+    EXPECT_EQ(run({"batch", "d", "--mapping", "hatt,frobnicate"}, &text),
+              2);
+    EXPECT_EQ(run({"mappings", "extra"}, &text), 2);
+    EXPECT_EQ(run({"compile", "in.ops", "--mapping", "jw,bk"}, &text), 2);
 
     // Batch and cache command-line validation.
     EXPECT_EQ(run({"batch"}, &text), 2);

@@ -31,6 +31,7 @@
 #include "mapping/hatt.hpp"
 #include "mapping/hatt_counts.hpp"
 #include "mapping/jordan_wigner.hpp"
+#include "mapping/mapper.hpp"
 #include "mapping/search.hpp"
 #include "models/chains.hpp"
 #include "models/hubbard.hpp"
@@ -316,6 +317,50 @@ TEST(PerfParity, MatchesRecordedSeedOutputs)
         EXPECT_EQ(res.stats.predictedWeight, c.predicted) << c.name;
         EXPECT_EQ(res.stats.candidatesEvaluated, c.candidates) << c.name;
         EXPECT_EQ(stringsHash(res.mapping), c.strhash) << c.name;
+    }
+}
+
+TEST(PerfParity, RegistryBuildReproducesRecordedSeedOutputs)
+{
+    // The MapperRegistry round-trip pins: requesting the HATT kinds
+    // through the unified API reproduces the recorded seed outputs
+    // (same table as MatchesRecordedSeedOutputs), so the registry
+    // dispatch layer is provably a zero-cost indirection.
+    struct Case
+    {
+        const char *name;
+        const char *kind;
+        uint64_t predicted, candidates, strhash;
+    };
+    const Case cases[] = {
+        {"chain12", "hatt", 71, 2444, 4074255786502979964ull},
+        {"chain12", "hatt-unopt", 71, 8086, 9717090316095096431ull},
+        {"hub22", "hatt", 76, 744, 2707256268756362103ull},
+        {"hub22", "hatt-unopt", 82, 1716, 1691760206947840021ull},
+        {"rand6", "hatt", 34, 322, 17077076422476393563ull},
+    };
+    for (const Case &c : cases) {
+        MajoranaPolynomial poly =
+            std::string(c.name) == "chain12" ? majoranaChain(12)
+            : std::string(c.name) == "hub22"
+                ? MajoranaPolynomial::fromFermion(
+                      hubbardModel({2, 2, 1.0, 4.0}))
+                : randomMajoranaPolynomial(6, 14, 1);
+        MappingRequest req;
+        req.kind = c.kind;
+        req.poly = &poly;
+        StatusOr<MappingResult> built =
+            MapperRegistry::instance().build(req);
+        ASSERT_TRUE(built.ok())
+            << c.name << "/" << c.kind << ": " << built.status().message();
+        EXPECT_EQ(built->metrics.counters.at("predicted_weight"),
+                  c.predicted)
+            << c.name << "/" << c.kind;
+        ASSERT_TRUE(built->metrics.candidates.has_value());
+        EXPECT_EQ(*built->metrics.candidates, c.candidates)
+            << c.name << "/" << c.kind;
+        EXPECT_EQ(stringsHash(built->mapping), c.strhash)
+            << c.name << "/" << c.kind;
     }
 }
 
