@@ -1,0 +1,38 @@
+#include "common/deadline.hpp"
+
+#include <limits>
+
+namespace hatt {
+
+Deadline
+Deadline::after(double seconds)
+{
+    if (seconds < 0.0)
+        seconds = 0.0;
+    Deadline d;
+    d.expiry_ = Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(seconds));
+    return d;
+}
+
+double
+Deadline::remainingSeconds() const
+{
+    if (!expiry_)
+        return std::numeric_limits<double>::infinity();
+    const double left =
+        std::chrono::duration<double>(*expiry_ - Clock::now()).count();
+    return left > 0.0 ? left : 0.0;
+}
+
+void
+RunLimits::check() const
+{
+    if (cancel && cancel->cancelled())
+        throw CancelledError();
+    if (deadline.expired())
+        throw DeadlineExceededError();
+}
+
+} // namespace hatt

@@ -23,9 +23,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/fault.hpp"
 
 namespace hatt {
 
@@ -70,6 +73,13 @@ class WorkPool
     {
         if (chunks == 0)
             return;
+        // Injection point: a dispatch that cannot be serviced. Fired on
+        // the calling thread, before any chunk runs, so the failure is a
+        // clean exception with no work in flight (fail and throw model
+        // the same fault here).
+        if (fault::at("pool.dispatch") != fault::Action::None)
+            throw std::runtime_error(
+                "fault injected: pool.dispatch refused");
         unsigned th;
         {
             std::lock_guard<std::mutex> lock(config_mutex_);

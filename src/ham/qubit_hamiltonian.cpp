@@ -82,17 +82,28 @@ QubitMappingEngine::flushPending()
 void
 QubitMappingEngine::mapBatch(const MajoranaTerm *terms, size_t count)
 {
+    // Caller-thread checkpoint per dispatch: throws before any of this
+    // batch is merged, so mapped_ never holds a partial batch.
+    limits_.check();
+    const bool bounded = limits_.bounded();
     // Deterministic fan-out: the chunk decomposition is a pure function
     // of (count, kStreamBatch), and the fold below visits chunks in
     // index order, so the merged term order equals the serial scan for
     // every thread count.
     PauliSum batch = parallelReduceChunks(
         count, kStreamBatch, PauliSum(map_->numQubits),
-        [&](size_t lo, size_t hi) { return mapChunk(*map_, terms, lo, hi); },
+        [&](size_t lo, size_t hi) {
+            // Worker-safe poll: a bailed chunk's empty partial is
+            // discarded because the post-dispatch check() throws.
+            if (bounded && limits_.shouldStop())
+                return PauliSum(map_->numQubits);
+            return mapChunk(*map_, terms, lo, hi);
+        },
         [](PauliSum out, PauliSum part) {
             out.append(std::move(part));
             return out;
         });
+    limits_.check();
     mapped_.append(std::move(batch));
 }
 

@@ -16,6 +16,7 @@
  * (including 1) and to the historical serial fold.
  */
 
+#include "common/deadline.hpp"
 #include "fermion/fermion_op.hpp"
 #include "fermion/majorana.hpp"
 #include "mapping/mapping.hpp"
@@ -41,6 +42,15 @@ class QubitMappingEngine
 {
   public:
     explicit QubitMappingEngine(const FermionQubitMapping &map);
+
+    /**
+     * Bound the remaining work: every mapBatch dispatch checkpoints
+     * @p limits on the calling thread (throwing DeadlineExceededError /
+     * CancelledError) and chunk workers poll it cooperatively at chunk
+     * boundaries. Results mapped so far stay valid; the engine refuses
+     * further work until the budget is replaced.
+     */
+    void setLimits(const RunLimits &limits) { limits_ = limits; }
 
     /** Buffer one monomial; flushed in batches of kFlushBatch. */
     void add(const MajoranaTerm &term);
@@ -73,6 +83,7 @@ class QubitMappingEngine
     void mapBatch(const MajoranaTerm *terms, size_t count);
 
     const FermionQubitMapping *map_;
+    RunLimits limits_;                  //!< cooperative budget (unbounded)
     std::vector<MajoranaTerm> pending_; //!< add() buffer, < kStreamBatch
     PauliSum mapped_;                   //!< chunk-order merged products
 };

@@ -1,15 +1,21 @@
 #include "io/cache.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <ctime>
 #include <filesystem>
 #include <string>
 #include <system_error>
+#include <thread>
 
+#include "common/fault.hpp"
 #include "io/serialize.hpp"
 
 namespace hatt::io {
@@ -19,8 +25,11 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr int kCacheVersion = 1;
-constexpr int kIndexVersion = 1;
+/** v2 adds the advisory "quarantined" file count; v1 indexes load. */
+constexpr int kIndexVersion = 2;
 constexpr const char *kIndexFile = "index.json";
+constexpr const char *kLockFile = ".lock";
+constexpr const char *kQuarantineDir = "quarantine";
 /** Temp files from interrupted writers older than this are gc()'d. */
 constexpr int64_t kTmpMaxAgeSeconds = 3600;
 
@@ -110,6 +119,93 @@ isEntryFile(const std::string &name)
     return name.size() - suffix_len > hex + 1;
 }
 
+/**
+ * Advisory writer lock on <dir>/.lock: flock(LOCK_EX) with bounded
+ * retry (8 attempts, 1 ms doubling to 128 ms). Exhausting the retries
+ * is NOT an error — entry publication is an atomic rename, so the lock
+ * only serializes writers to reduce tmp-file churn and index races; a
+ * wedged or dead lock holder must never stall compilation.
+ */
+class FileLock
+{
+  public:
+    explicit FileLock(const std::string &path)
+    {
+        fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+        if (fd_ < 0)
+            return; // unwritable dir: store() will surface the real error
+        int delay_ms = 1;
+        for (int attempt = 0; attempt < 8; ++attempt) {
+            if (::flock(fd_, LOCK_EX | LOCK_NB) == 0) {
+                locked_ = true;
+                return;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay_ms));
+            delay_ms *= 2;
+        }
+    }
+
+    ~FileLock()
+    {
+        if (fd_ < 0)
+            return;
+        if (locked_)
+            ::flock(fd_, LOCK_UN);
+        ::close(fd_);
+    }
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+  private:
+    int fd_ = -1;
+    bool locked_ = false;
+};
+
+/**
+ * Write @p text to @p path and fsync it before returning, so the
+ * subsequent rename can never publish a name pointing at data the disk
+ * hasn't seen (the power-loss hole of plain ofstream + rename).
+ */
+void
+writeFileDurable(const std::string &path, const std::string &text)
+{
+    const int fd = ::open(path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0)
+        throw ParseError("cannot open file for writing: " + path);
+    size_t off = 0;
+    while (off < text.size()) {
+        const ssize_t n =
+            ::write(fd, text.data() + off, text.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            throw ParseError("write failed: " + path);
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        throw ParseError("fsync failed: " + path);
+    }
+    if (::close(fd) != 0)
+        throw ParseError("close failed: " + path);
+}
+
+/** Best-effort directory fsync: makes a completed rename durable. */
+void
+fsyncDir(const std::string &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
 } // namespace
 
 MappingCache::MappingCache(std::string dir) : dir_(std::move(dir)) {}
@@ -165,12 +261,24 @@ MappingCache::lookup(uint64_t content_hash, const std::string &kind) const
         return std::nullopt;
 
     // A cache is an accelerator, never a correctness dependency: a
-    // truncated, corrupt, or key-mismatched entry (interrupted writer,
-    // bit rot, hash collision) is treated as a miss so the caller
-    // recomputes and overwrites it through the atomic tmp+rename path —
-    // it must not kill a whole batch run.
+    // truncated or corrupt entry (interrupted writer, bit rot) is
+    // treated as a miss so the caller recomputes — it must not kill a
+    // whole batch run. The damaged file is moved into quarantine/ so it
+    // is never re-read, stays available for post-mortem until the next
+    // gc(), and the recompute's store() recreates a clean entry. A
+    // key-mismatched entry (hash collision) is healthy and stays put.
     try {
         JsonValue doc = loadJsonFile(path);
+        // Injection point: an entry that reads back damaged (torn
+        // write, bit rot) despite parsing — drives the quarantine path
+        // on otherwise healthy files. Fail models a transient read
+        // error: a plain miss, entry left in place.
+        switch (fault::at("cache.read")) {
+          case fault::Action::Throw:
+            throw ParseError("fault injected: cache.read");
+          case fault::Action::Fail: return std::nullopt;
+          case fault::Action::None: break;
+        }
         checkEnvelope(doc, "hatt-cache", kCacheVersion);
         if (doc.at("content_hash").asString() != hashToHex(content_hash) ||
             doc.at("kind").asString() != kind)
@@ -189,8 +297,56 @@ MappingCache::lookup(uint64_t content_hash, const std::string &kind) const
     } catch (const std::exception &) {
         // ParseError from the loader/validators, or std::invalid_argument
         // from PauliString reconstruction on mangled labels.
+        quarantineEntry(path);
         return std::nullopt;
     }
+}
+
+std::string
+MappingCache::quarantinePath() const
+{
+    return (fs::path(dir_) / kQuarantineDir).string();
+}
+
+void
+MappingCache::quarantineEntry(const std::string &path) const
+{
+    const std::string name = fs::path(path).filename().string();
+    std::error_code ec;
+    fs::create_directories(quarantinePath(), ec);
+    if (!ec) {
+        // Re-quarantining the same name overwrites the earlier copy:
+        // the newest damage is the interesting one.
+        fs::rename(path, fs::path(quarantinePath()) / name, ec);
+    }
+    if (ec)
+        fs::remove(path, ec); // can't move it aside: drop it instead
+    std::lock_guard<std::mutex> lock(uses_mutex_);
+    quarantined_.insert(name);
+}
+
+size_t
+MappingCache::quarantinedCount() const
+{
+    std::error_code ec;
+    if (!fs::is_directory(quarantinePath(), ec))
+        return 0;
+    size_t count = 0;
+    for (const fs::directory_entry &de :
+         fs::directory_iterator(quarantinePath(), ec))
+        if (de.is_regular_file(ec))
+            ++count;
+    return count;
+}
+
+bool
+MappingCache::wasQuarantined(uint64_t content_hash,
+                             const std::string &kind) const
+{
+    const std::string name =
+        hashToHex(content_hash) + "-" + kind + ".json";
+    std::lock_guard<std::mutex> lock(uses_mutex_);
+    return quarantined_.count(name) != 0;
 }
 
 void
@@ -216,19 +372,37 @@ MappingCache::store(uint64_t content_hash, const std::string &kind,
     if (candidates)
         doc.add("candidates", *candidates);
 
-    // Atomic publish: write a writer-unique temp file in the same
-    // directory, then rename over the entry — concurrent writers of the
-    // same key each publish a complete file, last rename wins.
+    // Serialize concurrent writers (advisory, best-effort on
+    // contention — see FileLock).
+    FileLock lock((fs::path(dir_) / kLockFile).string());
+
+    // Atomic, durable publish: write a writer-unique temp file in the
+    // same directory, fsync it, rename over the entry, fsync the
+    // directory — concurrent writers of the same key each publish a
+    // complete file, last rename wins, and a power cut can only leave
+    // the old entry or the new one, never a torn file under the live
+    // name.
     static std::atomic<uint64_t> counter{0};
     const std::string path = entryPath(content_hash, kind);
     const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
                             "." + std::to_string(counter.fetch_add(1));
-    saveJsonFile(tmp, doc);
+    // Injection point: Throw dies before touching disk; Fail dies
+    // between the temp write and the publish rename, leaving exactly
+    // the debris an interrupted writer would (gc() cleans it up).
+    const fault::Action write_fault = fault::at("cache.write");
+    if (write_fault == fault::Action::Throw)
+        throw ParseError("cannot write cache entry " + path +
+                         " (fault injected: cache.write)");
+    writeFileDurable(tmp, doc.dump(2));
+    if (write_fault == fault::Action::Fail)
+        throw ParseError("cannot publish cache entry " + path +
+                         " (fault injected: cache.write)");
     fs::rename(tmp, path, ec);
     if (ec) {
         fs::remove(tmp, ec);
         throw ParseError("cannot publish cache entry " + path);
     }
+    fsyncDir(dir_);
     recordUse(fs::path(path).filename().string());
 }
 
@@ -249,8 +423,15 @@ void
 MappingCache::save(uint64_t content_hash, const std::string &kind,
                    const MappingStore::Entry &entry)
 {
-    store(content_hash, kind, entry.mapping,
-          entry.tree ? &*entry.tree : nullptr, entry.candidates);
+    // The registry-facing cache is strictly advisory: the mapping was
+    // already computed, so a failed persist (full disk, injected
+    // cache.write fault) must not fail the build that produced it.
+    // Direct store() callers still see the ParseError.
+    try {
+        store(content_hash, kind, entry.mapping,
+              entry.tree ? &*entry.tree : nullptr, entry.candidates);
+    } catch (const std::exception &) {
+    }
 }
 
 std::vector<CacheIndexEntry>
@@ -358,11 +539,13 @@ namespace {
 
 void
 writeIndexFile(const std::string &dir, const std::string &index_path,
-               const std::vector<CacheIndexEntry> &entries)
+               const std::vector<CacheIndexEntry> &entries,
+               size_t quarantined)
 {
     JsonValue doc = JsonValue::object();
     doc.add("format", "hatt-cache-index");
     doc.add("version", kIndexVersion);
+    doc.add("quarantined", static_cast<uint64_t>(quarantined));
     JsonValue arr = JsonValue::array();
     for (const CacheIndexEntry &e : entries) {
         JsonValue rec = JsonValue::object();
@@ -373,17 +556,22 @@ writeIndexFile(const std::string &dir, const std::string &index_path,
     }
     doc.add("entries", std::move(arr));
 
+    // Same discipline as entry publication: locked writers, fsync'd
+    // temp, atomic rename (the index is advisory, but a torn index
+    // would masquerade as drift to --check).
+    FileLock lock((fs::path(dir) / kLockFile).string());
     static std::atomic<uint64_t> counter{0};
     const std::string tmp = index_path + ".tmp." +
                             std::to_string(::getpid()) + "." +
                             std::to_string(counter.fetch_add(1));
-    saveJsonFile(tmp, doc);
+    writeFileDurable(tmp, doc.dump(2));
     std::error_code ec;
     fs::rename(tmp, index_path, ec);
     if (ec) {
         fs::remove(tmp, ec);
         throw ParseError("cannot publish cache index in " + dir);
     }
+    fsyncDir(dir);
 }
 
 } // namespace
@@ -399,7 +587,8 @@ MappingCache::flushIndex()
     // being silently discarded by a clear-after-write.
     std::map<std::string, int64_t> uses = takeUses();
     try {
-        writeIndexFile(dir_, indexPath(), scanMerged(uses, loadIndex()));
+        writeIndexFile(dir_, indexPath(), scanMerged(uses, loadIndex()),
+                       quarantinedCount());
     } catch (...) {
         restoreUses(uses);
         throw;
@@ -439,6 +628,17 @@ MappingCache::gc(const CacheGcOptions &options)
         return stats;
 
     const int64_t now = options.now ? *options.now : wallClockNow();
+
+    // Purge quarantined entries: files lookup() moved aside are kept
+    // for post-mortem only until the next gc pass.
+    if (fs::is_directory(quarantinePath(), ec)) {
+        for (const fs::directory_entry &de :
+             fs::directory_iterator(quarantinePath(), ec)) {
+            std::error_code rec;
+            if (fs::remove(de.path(), rec))
+                ++stats.quarantinePurged;
+        }
+    }
 
     // Clear crash debris: temp files an interrupted cache writer left
     // behind (and only those — see isCacheTmpFile). Live writers publish
@@ -518,7 +718,7 @@ MappingCache::gc(const CacheGcOptions &options)
         stats.bytesAfter += e.size;
 
     try {
-        writeIndexFile(dir_, indexPath(), keep);
+        writeIndexFile(dir_, indexPath(), keep, quarantinedCount());
     } catch (...) {
         restoreUses(uses);
         throw;

@@ -20,12 +20,22 @@
  * last-used first, and rewrites the index to exactly the surviving
  * files. The index is advisory — a missing or stale index never breaks
  * lookups, and gc()/flushIndex() reconcile it against the directory.
+ *
+ * Robustness: entry and index writes are power-loss-safe (the temp file
+ * is fsync'd before the rename, and the directory after), writers take
+ * an advisory flock on <dir>/.lock with bounded exponential backoff
+ * (proceeding best-effort when contended — rename publication stays
+ * atomic either way), and a corrupt entry discovered by lookup() is
+ * moved aside into <dir>/quarantine/ instead of being silently
+ * re-read every run; quarantined files are counted in index.json and
+ * purged by gc().
  */
 
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -72,6 +82,7 @@ struct CacheGcStats
     size_t evicted = 0;       //!< entry files removed
     uint64_t bytesBefore = 0; //!< entry bytes before the pass
     uint64_t bytesAfter = 0;  //!< entry bytes surviving
+    size_t quarantinePurged = 0; //!< quarantined files deleted
 };
 
 /**
@@ -99,10 +110,12 @@ class MappingCache : public MappingStore
 
     /**
      * Look up (hash, kind); returns nullopt when absent. A present but
-     * truncated/corrupt/key-mismatched entry is also a miss: callers
-     * recompute and the subsequent store() overwrites the bad file
-     * atomically, so one damaged entry cannot abort a batch run.
-     * Hits are logged for the index's last-used tracking.
+     * truncated/corrupt entry is also a miss: the damaged file is moved
+     * into <dir>/quarantine/ (see wasQuarantined()), callers recompute,
+     * and the subsequent store() recreates the entry atomically, so one
+     * damaged entry cannot abort a batch run. A key-mismatched entry
+     * (hash collision) is a plain miss and is left in place. Hits are
+     * logged for the index's last-used tracking.
      */
     std::optional<CachedMapping> lookup(uint64_t content_hash,
                                         const std::string &kind) const;
@@ -117,7 +130,9 @@ class MappingCache : public MappingStore
     std::optional<MappingStore::Entry>
     load(uint64_t content_hash, const std::string &kind) override;
 
-    /** MappingStore adapter over store(). */
+    /** MappingStore adapter over store(). Best-effort: a persist
+        failure is swallowed — the cache is advisory, and the mapping
+        being saved was already computed successfully. */
     void save(uint64_t content_hash, const std::string &kind,
               const MappingStore::Entry &entry) override;
 
@@ -161,13 +176,28 @@ class MappingCache : public MappingStore
     /**
      * Evict entries per @p options (age filter first, then LRU until
      * under the byte budget; ties broken by file name), delete stale
-     * temp files from interrupted writers, and rewrite index.json to
-     * exactly the survivors.
+     * temp files from interrupted writers, purge the quarantine
+     * directory, and rewrite index.json to exactly the survivors.
      */
     CacheGcStats gc(const CacheGcOptions &options);
 
+    /** Directory corrupt entries are moved into (<dir>/quarantine). */
+    std::string quarantinePath() const;
+
+    /** Files currently sitting in the quarantine directory. */
+    size_t quarantinedCount() const;
+
+    /** True when THIS instance quarantined (hash, kind) — lets a batch
+        caller attribute a recompute to a corrupt cache entry. */
+    bool wasQuarantined(uint64_t content_hash,
+                        const std::string &kind) const;
+
   private:
     void recordUse(const std::string &file) const;
+
+    /** Move a damaged entry file into quarantine (remove on failure)
+        and remember its name for wasQuarantined(). */
+    void quarantineEntry(const std::string &path) const;
 
     /** scanEntries() against explicit usage and index snapshots. */
     std::vector<CacheIndexEntry>
@@ -181,6 +211,9 @@ class MappingCache : public MappingStore
     std::string dir_;
     mutable std::mutex uses_mutex_;
     mutable std::map<std::string, int64_t> pending_uses_;
+    /** Entry file names this instance moved to quarantine (guarded by
+        uses_mutex_). */
+    mutable std::set<std::string> quarantined_;
 };
 
 } // namespace hatt::io

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -9,6 +10,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/deadline.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "ham/qubit_hamiltonian.hpp"
@@ -51,6 +53,15 @@ const char *kUsage =
     "                   recognized extension)\n"
     "  -o, --out DIR    output directory                   [out]\n"
     "  --cache DIR      content-addressed mapping cache\n"
+    "  --max-terms N    reject inputs with more than N terms\n"
+    "  --max-modes N    reject inputs declaring/using more than N modes\n"
+    "\n"
+    "options (map/compile/batch):\n"
+    "  --timeout SEC    per-item compile budget in seconds; on expiry\n"
+    "                   exit 75 (batch: the item reports 'timeout')\n"
+    "  --fallback       on a construction deadline, degrade to the\n"
+    "                   deterministic FH ternary-tree construction\n"
+    "                   instead of failing\n"
     "\n"
     "options (batch):\n"
     "  --glob PATTERN   filter recursive directory discovery (* and ?;\n"
@@ -67,7 +78,12 @@ const char *kUsage =
     "\n"
     "options (cache list):\n"
     "  --check          exit 1 when index.json disagrees with the\n"
-    "                   directory contents\n";
+    "                   directory contents\n"
+    "\n"
+    "exit codes:\n"
+    "  0 success; 1 failed check or failed batch input; 64 usage error;\n"
+    "  65 parse/validation failure; 70 internal error; 75 deadline\n"
+    "  expired or cancelled\n";
 
 struct Options
 {
@@ -85,10 +101,25 @@ struct Options
     bool json = false;    //!< mappings: machine-readable listing
     std::optional<uint64_t> maxBytes;
     std::optional<int64_t> maxAge;
+    ParseLimits limits;   //!< input caps (--max-terms / --max-modes)
+    double timeoutSeconds = 0.0; //!< per-item budget; 0 = unbounded
+    bool fallback = false; //!< degrade to btt on construction deadline
 };
 
-/** Thrown for bad command lines; maps to exit code 2 with usage text. */
+/** Thrown for bad command lines; maps to exit code 64 with usage. */
 struct UsageError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** The compile budget expired or the run was cancelled; exit 75. */
+struct DeadlineError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** Invariant/resource failure inside the library; exit 70. */
+struct InternalError : std::runtime_error
 {
     using std::runtime_error::runtime_error;
 };
@@ -204,6 +235,32 @@ parseArgs(const std::vector<std::string> &args)
             if (n == 0)
                 throw UsageError("--jobs needs at least 1 worker");
             opt.jobs = static_cast<unsigned>(n);
+        } else if (a == "--timeout") {
+            const std::string &text = value(i);
+            double seconds = 0.0;
+            try {
+                size_t used = 0;
+                seconds = std::stod(text, &used);
+                if (used != text.size() || !std::isfinite(seconds) ||
+                    seconds <= 0.0)
+                    throw std::invalid_argument(text);
+            } catch (const std::exception &) {
+                throw UsageError("option --timeout needs a positive "
+                                 "number of seconds, got '" + text + "'");
+            }
+            opt.timeoutSeconds = seconds;
+        } else if (a == "--fallback") {
+            opt.fallback = true;
+        } else if (a == "--max-terms") {
+            uint64_t n = parseUnsigned(a, value(i));
+            if (n == 0)
+                throw UsageError("--max-terms needs at least 1 term");
+            opt.limits.maxTerms = n;
+        } else if (a == "--max-modes") {
+            uint64_t n = parseUnsigned(a, value(i), 1u << 24);
+            if (n == 0)
+                throw UsageError("--max-modes needs at least 1 mode");
+            opt.limits.maxModes = static_cast<uint32_t>(n);
         } else if (a == "--json") {
             if (opt.command != "mappings")
                 throw UsageError("--json only applies to mappings");
@@ -230,6 +287,18 @@ parseArgs(const std::vector<std::string> &args)
             throw UsageError("unexpected argument '" + a + "'");
         }
     }
+    const bool parses_input = opt.command == "map" ||
+                              opt.command == "compile" ||
+                              opt.command == "batch" ||
+                              opt.command == "stats";
+    if ((opt.limits.maxTerms != 0 || opt.limits.maxModes != 0) &&
+        !parses_input)
+        throw UsageError("--max-terms/--max-modes only apply to "
+                         "map/compile/batch/stats");
+    if ((opt.timeoutSeconds > 0.0 || opt.fallback) &&
+        (!parses_input || opt.command == "stats"))
+        throw UsageError("--timeout/--fallback only apply to "
+                         "map/compile/batch");
     if (opt.command == "cache") {
         if (opt.cacheCommand != "gc" && opt.cacheCommand != "list")
             throw UsageError("cache needs a subcommand: gc | list");
@@ -310,20 +379,35 @@ detectFormat(const std::string &path)
  * construction path every hattc command and the batch service share.
  * The cache (when given) plugs in as the registry's MappingStore, so
  * cache keying and hit/miss accounting live behind the registry.
- * @throws ParseError on a non-ok Status (unknown kind, bad request).
+ *
+ * A non-ok Status becomes the exception matching its exit code:
+ * DeadlineExceeded/Cancelled -> DeadlineError (75), Internal/
+ * ResourceExhausted -> InternalError (70), everything else (unknown
+ * kind, bad request, over-ceiling input) -> ParseError (65).
  */
 MappingResult
 buildRequestedMapping(const std::string &kind, const LoadedProblem &problem,
-                      MappingCache *cache)
+                      MappingCache *cache, const RunLimits &limits)
 {
     MappingRequest req;
     req.kind = kind;
     req.poly = &problem.poly;
     req.contentHash = problem.contentHash;
+    req.limits = limits;
     StatusOr<MappingResult> built =
         MapperRegistry::instance().build(req, cache);
-    if (!built.ok())
-        throw ParseError(built.status().message());
+    if (!built.ok()) {
+        const Status &status = built.status();
+        switch (status.code()) {
+          case Status::Code::DeadlineExceeded:
+          case Status::Code::Cancelled:
+            throw DeadlineError(status.message());
+          case Status::Code::Internal:
+          case Status::Code::ResourceExhausted:
+            throw InternalError(status.message());
+          default: throw ParseError(status.message());
+        }
+    }
     return std::move(built).value();
 }
 
@@ -331,7 +415,8 @@ buildRequestedMapping(const std::string &kind, const LoadedProblem &problem,
 JsonValue
 metricsDocument(const std::string &name, double seconds,
                 std::optional<uint64_t> pauli_weight,
-                std::optional<uint64_t> candidates, bool cache_hit)
+                std::optional<uint64_t> candidates, bool cache_hit,
+                bool degraded)
 {
     JsonValue rec = JsonValue::object();
     rec.add("name", name);
@@ -341,6 +426,7 @@ metricsDocument(const std::string &name, double seconds,
     rec.add("candidates",
             candidates ? JsonValue(*candidates) : JsonValue(nullptr));
     rec.add("cache_hit", cache_hit);
+    rec.add("degraded", degraded);
     JsonValue records = JsonValue::array();
     records.push(std::move(rec));
     JsonValue doc = JsonValue::object();
@@ -366,6 +452,16 @@ struct CompileOutcome
     MappingResult built;
     std::optional<HamiltonianMetrics> qubitMetrics;
     double totalSeconds = 0.0;
+    /** Construction hit its deadline and fell back to btt. */
+    bool degraded = false;
+};
+
+/** Budget/guard knobs shared by every compile entry point. */
+struct CompileConfig
+{
+    ParseLimits limits;
+    double timeoutSeconds = 0.0; //!< 0 = unbounded
+    bool fallback = false;       //!< degrade to btt on deadline
 };
 
 /**
@@ -373,15 +469,35 @@ struct CompileOutcome
  * build the mapping (consulting @p cache when given), map the qubit
  * Hamiltonian (when @p emit_qubit), and write every artifact into
  * @p out_dir. Shared by the single-input commands and every batch item.
+ *
+ * The deadline (when set) covers construction AND qubit mapping; with
+ * --fallback a construction deadline degrades to the deterministic FH
+ * ternary-tree construction (btt) — the fallback build itself runs
+ * unbounded, since degradation must complete to be useful. A deadline
+ * during qubit mapping always propagates (there is no cheaper way to
+ * map the same Hamiltonian).
  */
 CompileOutcome
 compileInput(const std::string &path, InputFormat format,
              const std::string &kind, const std::string &out_dir,
-             MappingCache *cache, bool emit_qubit)
+             MappingCache *cache, bool emit_qubit,
+             const CompileConfig &config)
 {
     CompileOutcome res;
-    res.problem = loadProblem(path, format);
-    res.built = buildRequestedMapping(kind, res.problem, cache);
+    res.problem = loadProblem(path, format, config.limits);
+
+    RunLimits run;
+    if (config.timeoutSeconds > 0.0)
+        run.deadline = Deadline::after(config.timeoutSeconds);
+    try {
+        res.built = buildRequestedMapping(kind, res.problem, cache, run);
+    } catch (const DeadlineError &) {
+        if (!config.fallback)
+            throw;
+        res.built =
+            buildRequestedMapping("btt", res.problem, cache, RunLimits{});
+        res.degraded = true;
+    }
 
     ensureOutDir(out_dir);
     const fs::path dir(out_dir);
@@ -401,8 +517,11 @@ compileInput(const std::string &path, InputFormat format,
         // Engine batch entry point over the accumulator's deduplicated
         // monomials (mapToQubits wraps exactly this; spelled out here so
         // the shipped driver exercises — and the hattc tests pin — the
-        // engine API itself).
+        // engine API itself). A degraded build runs unbounded: its
+        // budget is already spent, and the degradation contract is
+        // "always produces output".
         QubitMappingEngine engine(res.built.mapping);
+        engine.setLimits(res.degraded ? RunLimits{} : run);
         engine.addBatch(res.problem.poly.terms());
         PauliSum hq = engine.finish();
         map_seconds = timer.seconds();
@@ -416,7 +535,8 @@ compileInput(const std::string &path, InputFormat format,
     saveJsonFile((dir / (stem + ".metrics.json")).string(),
                  metricsDocument(stem + "/" + kind, res.totalSeconds,
                                  pauli_weight, candidates,
-                                 res.built.metrics.cacheHit));
+                                 res.built.metrics.cacheHit,
+                                 res.degraded));
     return res;
 }
 
@@ -427,9 +547,13 @@ cmdMapOrCompile(const Options &opt, std::ostream &out)
     std::optional<MappingCache> cache;
     if (!opt.cacheDir.empty())
         cache.emplace(opt.cacheDir);
+    CompileConfig config;
+    config.limits = opt.limits;
+    config.timeoutSeconds = opt.timeoutSeconds;
+    config.fallback = opt.fallback;
     CompileOutcome res =
         compileInput(opt.input, opt.format, opt.mapping, opt.outDir,
-                     cache ? &*cache : nullptr, compile);
+                     cache ? &*cache : nullptr, compile, config);
     const LoadedProblem &problem = res.problem;
 
     out << "input:        " << opt.input << " (" << problem.format << ", "
@@ -439,7 +563,9 @@ cmdMapOrCompile(const Options &opt, std::ostream &out)
     out << "content hash: " << hashToHex(problem.contentHash) << "\n";
     out << "mapping:      " << opt.mapping << " -> "
         << res.built.mapping.numQubits << " qubits"
-        << (res.built.metrics.cacheHit ? " [cache hit]" : "") << "\n";
+        << (res.built.metrics.cacheHit ? " [cache hit]" : "")
+        << (res.degraded ? " [degraded to btt: deadline expired]" : "")
+        << "\n";
     if (res.qubitMetrics)
         out << "qubit H:      " << res.qubitMetrics->numTerms
             << " non-identity terms, pauli weight "
@@ -461,6 +587,9 @@ cmdBatch(const Options &opt, std::ostream &out)
     bopt.format = opt.format;
     bopt.glob = opt.glob;
     bopt.jobs = opt.jobs;
+    bopt.limits = opt.limits;
+    bopt.timeoutSeconds = opt.timeoutSeconds;
+    bopt.fallback = opt.fallback;
     BatchCompiler compiler(bopt);
 
     std::vector<BatchItem> items = compiler.discoverInputs(opt.input);
@@ -477,19 +606,28 @@ cmdBatch(const Options &opt, std::ostream &out)
 
     out << "batch:        " << results.size() << " work item(s) from "
         << opt.input << "\n";
-    size_t failed = 0;
+    size_t failed = 0, degraded = 0;
     for (const BatchItemResult &r : results) {
         if (r.ok) {
+            if (r.degraded)
+                ++degraded;
             out << "  ok    " << r.item.key() << " -> " << r.numQubits
                 << " qubits, weight " << r.pauliWeight
-                << (r.cacheHit ? "  [cache hit]" : "") << "\n";
+                << (r.cacheHit ? "  [cache hit]" : "")
+                << (r.degraded ? "  [degraded]" : "")
+                << (r.quarantinedCache ? "  [cache quarantined]" : "")
+                << "\n";
         } else {
             ++failed;
-            out << "  FAIL  " << r.item.key() << "  " << r.error << "\n";
+            out << "  " << (r.timedOut ? "TIME " : "FAIL ") << " "
+                << r.item.key() << "  " << r.error << "\n";
         }
     }
     out << "summary:      " << results.size() - failed << " ok, " << failed
-        << " failed\n";
+        << " failed";
+    if (degraded)
+        out << ", " << degraded << " degraded";
+    out << "\n";
     out << "wrote:        "
         << (dir / "batch_{report,stats}.json").string() << "\n";
     return failed == 0 ? 0 : 1;
@@ -537,7 +675,7 @@ cmdMappings(const Options &opt, std::ostream &out)
 int
 cmdStats(const Options &opt, std::ostream &out)
 {
-    LoadedProblem problem = loadProblem(opt.input, opt.format);
+    LoadedProblem problem = loadProblem(opt.input, opt.format, opt.limits);
     uint64_t majorana_weight = 0;
     size_t max_degree = 0;
     for (const MajoranaTerm &t : problem.poly.terms()) {
@@ -602,6 +740,10 @@ cmdCache(const Options &opt, std::ostream &out)
             << "evicted:  " << stats.evicted << "\n"
             << "kept:     " << stats.entries - stats.evicted << " ("
             << stats.bytesAfter << " bytes)\n";
+        if (stats.quarantinePurged)
+            out << "purged:   " << stats.quarantinePurged
+                << " quarantined entr"
+                << (stats.quarantinePurged == 1 ? "y" : "ies") << "\n";
         return 0;
     }
 
@@ -626,6 +768,8 @@ cmdCache(const Options &opt, std::ostream &out)
     }
     doc.add("entries", std::move(arr));
     doc.add("total_bytes", total);
+    doc.add("quarantined",
+            static_cast<uint64_t>(cache.quarantinedCount()));
     doc.add("consistent", consistent);
     out << doc.dump(2) << "\n";
     return (opt.check && !consistent) ? 1 : 0;
@@ -647,6 +791,26 @@ hattcMappingKinds()
 LoadedProblem
 loadProblem(const std::string &path, InputFormat format)
 {
+    return loadProblem(path, format, ParseLimits{});
+}
+
+LoadedProblem
+loadProblem(const std::string &path, InputFormat format,
+            const ParseLimits &limits)
+{
+    // Size guard before a single byte is parsed: a hostile or
+    // mistargeted path (a core dump, a giant log) must be rejected by
+    // stat, not by the allocator.
+    if (limits.maxFileBytes != 0) {
+        std::error_code ec;
+        const uint64_t size = fs::file_size(path, ec);
+        if (!ec && size > limits.maxFileBytes)
+            throw ParseError(path + ": file size " +
+                             std::to_string(size) +
+                             " exceeds the input cap (" +
+                             std::to_string(limits.maxFileBytes) +
+                             " bytes)");
+    }
     if (format == InputFormat::Auto)
         format = detectFormat(path);
 
@@ -654,6 +818,7 @@ loadProblem(const std::string &path, InputFormat format)
     problem.stem = fs::path(path).stem().string();
 
     ShardedMajoranaPreprocessor acc;
+    try {
     if (format == InputFormat::Ops) {
         problem.format = "ops";
         std::ifstream in(path);
@@ -663,16 +828,21 @@ loadProblem(const std::string &path, InputFormat format)
             streamFermionText(in, [&](FermionTerm &&term) {
                 acc.add(std::move(term));
                 return true;
-            });
+            }, limits);
         acc.ensureModes(info.numModes);
         problem.fermionTerms = info.numTerms;
     } else {
         problem.format = "fcidump";
-        FermionHamiltonian hf = loadFcidumpHamiltonian(path);
+        FermionHamiltonian hf = loadFcidumpHamiltonian(path, limits);
         for (const FermionTerm &term : hf.terms())
             acc.add(FermionTerm(term));
         acc.ensureModes(hf.numModes());
         problem.fermionTerms = hf.size();
+    }
+    } catch (const std::invalid_argument &e) {
+        // Data-shape violations from the Majorana expansion (e.g. a term
+        // with > 30 ladder operators) are input errors, not bugs.
+        throw ParseError(path + ": " + e.what());
     }
     problem.poly = acc.finish();
     problem.numModes = problem.poly.numModes();
@@ -868,6 +1038,11 @@ BatchCompiler::run(std::vector<BatchItem> items) const
             r.error = "duplicate work item '" + r.item.key() +
                       "' in batch";
 
+    CompileConfig config;
+    config.limits = options_.limits;
+    config.timeoutSeconds = options_.timeoutSeconds;
+    config.fallback = options_.fallback;
+
     // One work item per chunk: items are the coarse parallel grain, and
     // each item's own stages (sharded preprocessing, candidate scans,
     // qubit mapping) dispatch nested and run inline on this worker.
@@ -887,7 +1062,8 @@ BatchCompiler::run(std::vector<BatchItem> items) const
                     .value_or(options_.format);
             CompileOutcome res =
                 compileInput(r.item.path, format, r.item.mapping,
-                             out_dir, cache ? &*cache : nullptr, true);
+                             out_dir, cache ? &*cache : nullptr, true,
+                             config);
             r.format = res.problem.format;
             r.numModes = res.problem.numModes;
             r.fermionTerms = res.problem.fermionTerms;
@@ -897,7 +1073,22 @@ BatchCompiler::run(std::vector<BatchItem> items) const
             r.pauliWeight = res.qubitMetrics->pauliWeight;
             r.candidates = res.built.metrics.candidates;
             r.cacheHit = res.built.metrics.cacheHit;
+            r.degraded = res.degraded;
+            if (cache && cache->wasQuarantined(res.problem.contentHash,
+                                               r.item.mapping))
+                r.quarantinedCache = true;
             r.ok = true;
+        } catch (const DeadlineError &e) {
+            // The item's budget expired (construction without
+            // --fallback, or qubit mapping): isolated, not fatal.
+            r.timedOut = true;
+            r.error = e.what();
+        } catch (const DeadlineExceededError &e) {
+            r.timedOut = true;
+            r.error = e.what();
+        } catch (const CancelledError &e) {
+            r.timedOut = true;
+            r.error = e.what();
         } catch (const std::exception &e) {
             // One bad input must not abort the batch: report and move on.
             r.error = e.what();
@@ -923,8 +1114,8 @@ BatchCompiler::reportDocument(const std::vector<BatchItemResult> &results)
 {
     JsonValue doc = JsonValue::object();
     doc.add("format", "hatt-batch-report");
-    doc.add("version", 2);
-    size_t ok = 0;
+    doc.add("version", 3);
+    size_t ok = 0, degraded = 0;
     uint64_t total_weight = 0;
     JsonValue inputs = JsonValue::array();
     for (const BatchItemResult &r : results) {
@@ -932,13 +1123,25 @@ BatchCompiler::reportDocument(const std::vector<BatchItemResult> &results)
         rec.add("key", r.item.key());
         rec.add("name", r.item.name);
         rec.add("mapping", r.item.mapping);
-        rec.add("status", r.ok ? "ok" : "error");
+        // v3 status vocabulary: ok | error | timeout | degraded |
+        // quarantined_cache. The last two still carry the full outcome
+        // fields — they are flavors of success; timeout is a flavor of
+        // failure. degraded wins over quarantined_cache when both apply
+        // (the fallback changed WHAT was built, the quarantine only how).
+        const char *status = r.ok ? (r.degraded ? "degraded"
+                                     : r.quarantinedCache
+                                         ? "quarantined_cache"
+                                         : "ok")
+                                  : (r.timedOut ? "timeout" : "error");
+        rec.add("status", status);
         if (!r.ok) {
             rec.add("error", r.error);
             inputs.push(std::move(rec));
             continue;
         }
         ++ok;
+        if (r.degraded)
+            ++degraded;
         total_weight += r.pauliWeight;
         rec.add("input_format", r.format);
         rec.add("modes", r.numModes);
@@ -956,6 +1159,7 @@ BatchCompiler::reportDocument(const std::vector<BatchItemResult> &results)
     summary.add("inputs", static_cast<uint64_t>(results.size()));
     summary.add("succeeded", static_cast<uint64_t>(ok));
     summary.add("failed", static_cast<uint64_t>(results.size() - ok));
+    summary.add("degraded", static_cast<uint64_t>(degraded));
     summary.add("total_pauli_weight", total_weight);
     doc.add("summary", std::move(summary));
     return doc;
@@ -1008,10 +1212,22 @@ runHattc(const std::vector<std::string> &args, std::ostream &out,
         return cmdMapOrCompile(opt, out);
     } catch (const UsageError &e) {
         err << "hattc: " << e.what() << "\n\n" << kUsage;
-        return 2;
+        return 64; // EX_USAGE
+    } catch (const DeadlineError &e) {
+        err << "hattc: " << e.what() << "\n";
+        return 75; // EX_TEMPFAIL: retry with --timeout/--fallback
+    } catch (const DeadlineExceededError &e) {
+        err << "hattc: " << e.what() << "\n";
+        return 75;
+    } catch (const CancelledError &e) {
+        err << "hattc: " << e.what() << "\n";
+        return 75;
+    } catch (const ParseError &e) {
+        err << "hattc: " << e.what() << "\n";
+        return 65; // EX_DATAERR: malformed or over-cap input
     } catch (const std::exception &e) {
         err << "hattc: " << e.what() << "\n";
-        return 2;
+        return 70; // EX_SOFTWARE: internal invariant failure
     }
 }
 

@@ -36,6 +36,7 @@
 
 #include "fermion/majorana.hpp"
 #include "io/json.hpp"
+#include "io/limits.hpp"
 
 namespace hatt::io {
 
@@ -62,6 +63,15 @@ struct LoadedProblem
 LoadedProblem loadProblem(const std::string &path,
                           InputFormat format = InputFormat::Auto);
 
+/**
+ * As above with hard input caps: the file size is checked against
+ * ParseLimits::maxFileBytes up front (before a byte is parsed), and the
+ * term/mode/line caps are enforced by the format parsers as they
+ * stream. @throws ParseError with the offending cap in the message.
+ */
+LoadedProblem loadProblem(const std::string &path, InputFormat format,
+                          const ParseLimits &limits);
+
 // ------------------------------------------------------------------ batch
 
 /** One unit of batch work: an (input file, mapping kind) pair. */
@@ -85,6 +95,17 @@ struct BatchItemResult
     BatchItem item;
     bool ok = false;
     std::string error;   //!< diagnostic when !ok
+    /** The compile budget expired (report status "timeout"; implies
+        !ok — with --fallback construction degrades instead). */
+    bool timedOut = false;
+    /** Built, but the requested kind's search ran out of budget and
+        the deterministic fallback construction was used instead
+        (report status "degraded"; counts as succeeded). */
+    bool degraded = false;
+    /** Built, but a corrupt cache entry for this item's key was moved
+        to quarantine along the way (report status "quarantined_cache";
+        counts as succeeded — the mapping was recomputed cleanly). */
+    bool quarantinedCache = false;
 
     // Deterministic fields (batch_report.json).
     std::string format;  //!< "ops" | "fcidump"
@@ -128,6 +149,18 @@ struct BatchOptions
     /** Per-batch worker cap layered over HATT_THREADS via
         ScopedParallelThreads; 0 = inherit the pool configuration. */
     unsigned jobs = 0;
+
+    /** Hard input caps forwarded to every item's parser. */
+    ParseLimits limits;
+
+    /** Per-item compile budget in seconds; 0 = unbounded. Each work
+        item gets its own deadline, so one pathological input cannot
+        starve the rest of the corpus. */
+    double timeoutSeconds = 0.0;
+
+    /** On a construction deadline, degrade to the deterministic FH
+        ternary-tree construction (btt) instead of failing the item. */
+    bool fallback = false;
 };
 
 /**
@@ -141,8 +174,9 @@ struct BatchOptions
  * Artifacts: every work item compiles into <outDir>/<name>:<mapping>/
  * exactly as `hattc compile` would, plus two batch documents:
  *
- *  - batch_report.json ("hatt-batch-report" v2): per-item status and
- *    the deterministic outcome fields (modes, terms, content hash,
+ *  - batch_report.json ("hatt-batch-report" v3): per-item status
+ *    (ok | error | timeout | degraded | quarantined_cache) and the
+ *    deterministic outcome fields (modes, terms, content hash,
  *    qubits, pauli weight, candidates), rows keyed "<name>:<mapping>"
  *    and ordered by (name, mapping, path) — byte-identical for every
  *    HATT_THREADS / --jobs value and across cold/warm cache runs;
@@ -188,9 +222,17 @@ class BatchCompiler
 
 /**
  * Run the driver. @p args excludes the program name (i.e. main passes
- * {argv + 1, argv + argc}). Normal output goes to @p out, diagnostics to
- * @p err. @return process exit code: 0 success, 1 failed check or
- * failed batch input, 2 usage/input error.
+ * {argv + 1, argv + argc}). Normal output goes to @p out, diagnostics
+ * to @p err. @return sysexits-style process exit code:
+ *
+ *   0   success
+ *   1   failed check (verify/--check) or failed batch input
+ *   64  usage error (EX_USAGE: bad command line)
+ *   65  parse/validation failure (EX_DATAERR: malformed or over-cap
+ *       input, bad manifest, unreadable file)
+ *   70  internal error (EX_SOFTWARE: invariant failure, allocation)
+ *   75  deadline expired or cancelled (EX_TEMPFAIL: retry with a
+ *       larger --timeout or --fallback)
  */
 int runHattc(const std::vector<std::string> &args, std::ostream &out,
              std::ostream &err);

@@ -90,10 +90,25 @@ parseHeader(std::istream &in, size_t &line_no, long &norb, long &nelec)
 MoIntegrals
 parseFcidump(std::istream &in)
 {
+    return parseFcidump(in, ParseLimits{});
+}
+
+MoIntegrals
+parseFcidump(std::istream &in, const ParseLimits &limits)
+{
     size_t line_no = 0;
     long norb = 0, nelec = 0;
     parseHeader(in, line_no, norb, nelec);
+    // FCIDUMP is spatial-orbital data; second quantization doubles the
+    // mode count, so the --max-modes cap applies to 2*NORB.
+    if (limits.maxModes != 0 &&
+        2 * norb > static_cast<long>(limits.maxModes))
+        fail(line_no, "NORB " + std::to_string(norb) + " implies " +
+                          std::to_string(2 * norb) +
+                          " modes, exceeding the mode cap (" +
+                          std::to_string(limits.maxModes) + ")");
 
+    uint64_t integral_lines = 0;
     MoIntegrals mo;
     mo.numOrbitals = static_cast<uint32_t>(norb);
     mo.numElectrons = static_cast<uint32_t>(nelec);
@@ -104,8 +119,16 @@ parseFcidump(std::istream &in)
     std::string raw;
     while (std::getline(in, raw)) {
         ++line_no;
+        if (limits.maxLineBytes != 0 && raw.size() > limits.maxLineBytes)
+            fail(line_no, "line exceeds " +
+                              std::to_string(limits.maxLineBytes) +
+                              " bytes");
         if (raw.find_first_not_of(" \t\r") == std::string::npos)
             continue; // blank line
+        ++integral_lines;
+        if (limits.maxTerms != 0 && integral_lines > limits.maxTerms)
+            fail(line_no, "integral count exceeds the term cap (" +
+                              std::to_string(limits.maxTerms) + ")");
         // Fortran codes write doubles with D exponents (1.5D+00); the
         // data section contains no other letters, so a blanket
         // substitution is safe.
@@ -200,6 +223,15 @@ FermionHamiltonian
 loadFcidumpHamiltonian(const std::string &path)
 {
     return secondQuantize(loadFcidumpFile(path));
+}
+
+FermionHamiltonian
+loadFcidumpHamiltonian(const std::string &path, const ParseLimits &limits)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw ParseError("cannot open file: " + path);
+    return secondQuantize(parseFcidump(in, limits));
 }
 
 void

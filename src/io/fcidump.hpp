@@ -22,17 +22,26 @@
 
 #include "chem/scf.hpp"
 #include "fermion/fermion_op.hpp"
+#include "io/limits.hpp"
 
 namespace hatt::io {
 
 /** Parse FCIDUMP text into spatial MO integrals. @throws ParseError. */
 MoIntegrals parseFcidump(std::istream &in);
 
+/** As above, with hard input caps (2*NORB vs maxModes, integral lines
+    vs maxTerms, per-line byte cap). @throws ParseError on a cap. */
+MoIntegrals parseFcidump(std::istream &in, const ParseLimits &limits);
+
 /** Load a file (throws ParseError, with the path, when unreadable). */
 MoIntegrals loadFcidumpFile(const std::string &path);
 
 /** Parse + second-quantize into a 2*NORB-mode fermionic Hamiltonian. */
 FermionHamiltonian loadFcidumpHamiltonian(const std::string &path);
+
+/** As above with input caps forwarded to the parser. */
+FermionHamiltonian loadFcidumpHamiltonian(const std::string &path,
+                                          const ParseLimits &limits);
 
 /** Write @p mo in FCIDUMP format (unique integrals only). */
 void writeFcidump(std::ostream &out, const MoIntegrals &mo,

@@ -1,5 +1,6 @@
 #include "io/fermion_text.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -7,8 +8,11 @@
 #include <fstream>
 #include <limits>
 #include <locale>
+#include <new>
 #include <sstream>
 #include <system_error>
+
+#include "common/fault.hpp"
 
 namespace hatt::io {
 
@@ -127,16 +131,24 @@ parseOps(const std::string &s, size_t &pos, size_t line)
 } // namespace
 
 FermionTextInfo
-streamFermionText(std::istream &in, const FermionTermCallback &callback)
+streamFermionText(std::istream &in, const FermionTermCallback &callback,
+                  const ParseLimits &limits)
 {
     FermionTextInfo info;
     uint32_t max_mode_seen = 0;
     bool any_op = false;
     std::string raw;
     size_t line_no = 0;
+    const uint32_t mode_cap =
+        limits.maxModes != 0 ? std::min(limits.maxModes, kMaxMode)
+                             : kMaxMode;
 
     while (std::getline(in, raw)) {
         ++line_no;
+        if (limits.maxLineBytes != 0 && raw.size() > limits.maxLineBytes)
+            fail(line_no, "line exceeds " +
+                              std::to_string(limits.maxLineBytes) +
+                              " bytes");
         std::string s = stripLine(raw);
         if (s.empty())
             continue;
@@ -155,6 +167,10 @@ streamFermionText(std::istream &in, const FermionTermCallback &callback)
             if (n <= 0 || n > static_cast<long long>(kMaxMode) ||
                 !rest.empty())
                 fail(line_no, "invalid 'modes' header");
+            if (n > static_cast<long long>(mode_cap))
+                fail(line_no, "declared modes " + std::to_string(n) +
+                                  " exceed the mode cap (" +
+                                  std::to_string(mode_cap) + ")");
             info.numModes = static_cast<uint32_t>(n);
             info.declaredModes = true;
             continue;
@@ -177,11 +193,26 @@ streamFermionText(std::istream &in, const FermionTermCallback &callback)
                 fail(line_no, "mode index " + std::to_string(op.mode) +
                                   " out of range (modes = " +
                                   std::to_string(info.numModes) + ")");
+            if (op.mode >= mode_cap)
+                fail(line_no, "mode index " + std::to_string(op.mode) +
+                                  " exceeds the mode cap (" +
+                                  std::to_string(mode_cap) + ")");
             max_mode_seen = std::max(max_mode_seen, op.mode);
             any_op = true;
         }
 
         ++info.numTerms;
+        if (limits.maxTerms != 0 && info.numTerms > limits.maxTerms)
+            fail(line_no, "term count exceeds the term cap (" +
+                              std::to_string(limits.maxTerms) + ")");
+        // Injection point: allocation pressure while materializing a
+        // term (throw models bad_alloc, fail a clean parser diagnostic).
+        switch (fault::at("parse.alloc")) {
+          case fault::Action::Throw: throw std::bad_alloc();
+          case fault::Action::Fail:
+            fail(line_no, "fault injected: parse.alloc");
+          case fault::Action::None: break;
+        }
         if (!callback(FermionTerm(coeff, std::move(ops))))
             break;
     }

@@ -28,6 +28,7 @@
 
 #include "fermion/fermion_op.hpp"
 #include "io/json.hpp"
+#include "io/limits.hpp"
 
 namespace hatt::io {
 
@@ -45,10 +46,13 @@ using FermionTermCallback = std::function<bool(FermionTerm &&)>;
 /**
  * Stream-parse fermion-operator text, invoking @p callback per term.
  * @throws ParseError on malformed input (bad coefficient, unterminated
- * bracket, non-numeric or out-of-range mode index, garbage after a term).
+ * bracket, non-numeric or out-of-range mode index, garbage after a
+ * term) and on any @p limits cap being exceeded (over-long line, too
+ * many terms, too many modes) — each with the offending line number.
  */
 FermionTextInfo streamFermionText(std::istream &in,
-                                  const FermionTermCallback &callback);
+                                  const FermionTermCallback &callback,
+                                  const ParseLimits &limits = {});
 
 /** Parse a whole document into a FermionHamiltonian. */
 FermionHamiltonian parseFermionText(std::istream &in);

@@ -1,0 +1,38 @@
+#ifndef HATT_IO_LIMITS_HPP
+#define HATT_IO_LIMITS_HPP
+
+/**
+ * @file
+ * Hard input caps for the text parsers (.ops / FCIDUMP / JSON). A
+ * hostile or corrupt file must produce a precise ParseError, never an
+ * unbounded allocation: the caps bound every dimension an input can
+ * grow in — total bytes, bytes per line, declared/implied mode count,
+ * and term count. The CLI exposes the tunable ones as `--max-terms` /
+ * `--max-modes`; the byte caps are generous built-in ceilings (far
+ * above any legitimate Hamiltonian file) overridable in-process.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hatt::io {
+
+/** Caps enforced while parsing one input (0 = unlimited). */
+struct ParseLimits
+{
+    /** Max fermionic terms (.ops) / integral lines (FCIDUMP). */
+    uint64_t maxTerms = 0;
+
+    /** Max declared or implied mode count (caps NORB*2 for FCIDUMP). */
+    uint32_t maxModes = 0;
+
+    /** Max input file size; checked before the file is read. */
+    uint64_t maxFileBytes = 1ull << 30;
+
+    /** Max bytes in one input line (.ops / FCIDUMP). */
+    size_t maxLineBytes = 1u << 20;
+};
+
+} // namespace hatt::io
+
+#endif // HATT_IO_LIMITS_HPP

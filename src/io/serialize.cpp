@@ -316,11 +316,18 @@ saveJsonFile(const std::string &path, const JsonValue &doc)
 }
 
 JsonValue
-loadJsonFile(const std::string &path)
+loadJsonFile(const std::string &path, uint64_t max_bytes)
 {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
     if (!in)
         throw ParseError("cannot open file: " + path);
+    const auto size = in.tellg();
+    if (max_bytes != 0 && size >= 0 &&
+        static_cast<uint64_t>(size) > max_bytes)
+        throw ParseError(path + ": file size " + std::to_string(size) +
+                         " exceeds the JSON input cap (" +
+                         std::to_string(max_bytes) + " bytes)");
+    in.seekg(0, std::ios::beg);
     try {
         return JsonValue::parse(in);
     } catch (const ParseError &e) {

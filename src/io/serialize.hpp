@@ -59,8 +59,14 @@ std::string hashToHex(uint64_t hash);
 /** Write @p doc pretty-printed to @p path. @throws ParseError on I/O. */
 void saveJsonFile(const std::string &path, const JsonValue &doc);
 
-/** Parse the JSON document at @p path. @throws ParseError. */
-JsonValue loadJsonFile(const std::string &path);
+/**
+ * Parse the JSON document at @p path. @throws ParseError — including
+ * when the file exceeds @p max_bytes (0 = unlimited), checked before
+ * the file is slurped so a hostile path cannot force an unbounded
+ * allocation. The default ceiling is far above any legitimate artifact.
+ */
+JsonValue loadJsonFile(const std::string &path,
+                       uint64_t max_bytes = 1ull << 28);
 
 /**
  * Check a document's {"format", "version"} envelope.

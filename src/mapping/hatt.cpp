@@ -178,8 +178,13 @@ buildHattMapping(const MajoranaPolynomial &poly, const HattOptions &options)
     std::vector<int> sufp;     //   ... and its position
 
     const unsigned threads = parallelThreads();
+    const RunLimits &limits = options.limits;
+    const bool bounded = limits.bounded();
 
     for (uint32_t step = 0; step < n; ++step) {
+        // Caller-thread checkpoint once per step (throws on expiry);
+        // the scan chunks below only poll and bail, worker-safely.
+        limits.check();
         const size_t m = active.size();
         cnt1pos.resize(m);
         for (size_t p = 0; p < m; ++p) {
@@ -211,6 +216,8 @@ buildHattMapping(const MajoranaPolynomial &poly, const HattOptions &options)
                 ScanScratch &scr = tls_scratch;
                 scr.prepare(m);
                 ChunkResult local;
+                if (bounded && limits.shouldStop())
+                    return local; // discarded: the step check() throws
                 for (size_t i = lo; i < hi; ++i) {
                     const int a = active[i];
                     const auto &adj_a = counts.adjacency(a);
@@ -279,6 +286,8 @@ buildHattMapping(const MajoranaPolynomial &poly, const HattOptions &options)
                 ScanScratch &scr = tls_scratch;
                 scr.prepare(m);
                 ChunkResult local;
+                if (bounded && limits.shouldStop())
+                    return local; // discarded: the step check() throws
                 for (size_t p = lo; p < hi; ++p) {
                     const int ox = active[p];
                     const int x = desc_z(ox);
@@ -354,6 +363,10 @@ buildHattMapping(const MajoranaPolynomial &poly, const HattOptions &options)
             scan = parallelReduceChunks(m, grain, ChunkResult{}, scan_chunk,
                                         combineChunks);
         }
+
+        // If any chunk bailed, the scan is incomplete: expiry is
+        // monotonic, so this throws before the step can commit it.
+        limits.check();
 
         stats.candidatesEvaluated += scan.candidates;
         const int64_t best_w = scan.best.w;

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "fermion/majorana.hpp"
+#include "common/deadline.hpp"
 #include "mapping/mapping.hpp"
 #include "tree/ternary_tree.hpp"
 
@@ -45,6 +46,10 @@ struct HattOptions
     bool vacuumPairing = true;
     /** Use the O(1) descZ/up caches (Alg. 3); requires vacuumPairing. */
     bool descCache = true;
+    /** Cooperative run budget, polled at candidate-scan chunk
+        boundaries and checked (throwing DeadlineExceededError /
+        CancelledError) at every step boundary on the calling thread. */
+    RunLimits limits = {};
 };
 
 /** Construction statistics, used by the scalability experiments. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -11,6 +12,7 @@
 #include "mapping/bravyi_kitaev.hpp"
 #include "mapping/hatt.hpp"
 #include "mapping/jordan_wigner.hpp"
+#include "mapping/search.hpp"
 
 namespace hatt {
 
@@ -159,6 +161,7 @@ class HattMapper final : public Mapper
         HattOptions hopt;
         hopt.vacuumPairing = vacuumPairing_;
         hopt.descCache = vacuumPairing_;
+        hopt.limits = req.limits;
         HattResult res = buildHattMapping(*req.poly, hopt);
         MappingResult out;
         out.mapping = std::move(res.mapping);
@@ -174,6 +177,131 @@ class HattMapper final : public Mapper
     std::string name_;
     MapperCapabilities caps_;
     bool vacuumPairing_;
+};
+
+/** Parse a decimal unsigned option value; Status on junk. */
+Status
+parseUnsignedOption(const MappingRequest &req, const std::string &key,
+                    uint64_t min_v, uint64_t max_v, uint64_t &out)
+{
+    auto it = req.options.find(key);
+    if (it == req.options.end())
+        return Status();
+    const std::string &v = it->second;
+    if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos)
+        return Status::invalidArgument("mapping '" + req.kind +
+                                       "': option '" + key +
+                                       "' must be an unsigned integer, "
+                                       "got '" + v + "'");
+    const uint64_t parsed = std::strtoull(v.c_str(), nullptr, 10);
+    if (parsed < min_v || parsed > max_v)
+        return Status::invalidArgument(
+            "mapping '" + req.kind + "': option '" + key + "' must be in [" +
+            std::to_string(min_v) + ", " + std::to_string(max_v) +
+            "], got '" + v + "'");
+    out = parsed;
+    return Status();
+}
+
+/**
+ * The Fermihedral stand-ins as registry kinds, so searches participate
+ * in the compiler/batch/cache paths — and so a deadline can bound their
+ * factorial walks. "fh-exact" is the exact minimum over all complete
+ * ternary trees x leaf assignments (cost explodes factorially; a mode
+ * ceiling rejects clearly-infeasible requests up front), "fh-stoch" is
+ * the seeded random-restart hill climb.
+ */
+class FhExactMapper final : public Mapper
+{
+  public:
+    FhExactMapper()
+    {
+        caps_.needsHamiltonian = true;
+        caps_.deterministic = true;
+        caps_.cacheable = true;
+        caps_.producesTree = false;
+        caps_.vacuumPreserving = false;
+        caps_.summary = "exhaustive tree search (FH-optimal stand-in), "
+                        "factorial cost (options: max_modes<=8)";
+    }
+
+    const std::string &name() const override { return name_; }
+    const MapperCapabilities &capabilities() const override { return caps_; }
+
+    StatusOr<MappingResult>
+    build(const MappingRequest &req) const override
+    {
+        if (Status s = checkOptionKeys(req, {"max_modes"}); !s.ok())
+            return s;
+        uint64_t ceiling = 6;
+        if (Status s = parseUnsignedOption(req, "max_modes", 1, 8, ceiling);
+            !s.ok())
+            return s;
+        std::optional<SearchResult> res = exhaustiveTreeSearch(
+            *req.poly, static_cast<uint32_t>(ceiling), req.limits);
+        if (!res)
+            return Status::invalidArgument(
+                "mapping 'fh-exact': " +
+                std::to_string(req.poly->numModes()) +
+                " modes exceed the exhaustive-search ceiling (" +
+                std::to_string(ceiling) +
+                "); raise max_modes or use fh-stoch");
+        MappingResult out;
+        out.mapping = std::move(res->mapping);
+        out.metrics.candidates = res->evaluated;
+        out.metrics.counters["weight"] = res->weight;
+        return out;
+    }
+
+  private:
+    std::string name_ = "fh-exact";
+    MapperCapabilities caps_;
+};
+
+class FhStochMapper final : public Mapper
+{
+  public:
+    FhStochMapper()
+    {
+        caps_.needsHamiltonian = true;
+        caps_.deterministic = true; // given the seed, for every thread count
+        caps_.cacheable = true;
+        caps_.producesTree = false;
+        caps_.vacuumPreserving = false;
+        caps_.summary = "stochastic tree search (FH-approximate stand-in), "
+                        "seeded restarts (options: restarts, sweeps)";
+    }
+
+    const std::string &name() const override { return name_; }
+    const MapperCapabilities &capabilities() const override { return caps_; }
+
+    StatusOr<MappingResult>
+    build(const MappingRequest &req) const override
+    {
+        if (Status s = checkOptionKeys(req, {"restarts", "sweeps"}); !s.ok())
+            return s;
+        uint64_t restarts = 8, sweeps = 30;
+        if (Status s =
+                parseUnsignedOption(req, "restarts", 1, 4096, restarts);
+            !s.ok())
+            return s;
+        if (Status s = parseUnsignedOption(req, "sweeps", 1, 4096, sweeps);
+            !s.ok())
+            return s;
+        const uint64_t seed = req.seed != 0 ? req.seed : 1234;
+        SearchResult res = stochasticTreeSearch(
+            *req.poly, static_cast<uint32_t>(restarts),
+            static_cast<uint32_t>(sweeps), seed, req.limits);
+        MappingResult out;
+        out.mapping = std::move(res.mapping);
+        out.metrics.candidates = res.evaluated;
+        out.metrics.counters["weight"] = res.weight;
+        return out;
+    }
+
+  private:
+    std::string name_ = "fh-stoch";
+    MapperCapabilities caps_;
 };
 
 void
@@ -194,6 +322,8 @@ registerBuiltinMappers(MapperRegistry &reg)
         "hatt-unopt",
         "Hamiltonian-adaptive ternary tree (Alg. 1), free triples",
         false));
+    reg.add(std::make_unique<FhExactMapper>());
+    reg.add(std::make_unique<FhStochMapper>());
 }
 
 } // namespace
@@ -285,6 +415,15 @@ MapperRegistry::build(const MappingRequest &req, MappingStore *cache) const
     }
     if (requestModes(req) == 0)
         return Status::invalidArgument("cannot map zero modes");
+    // Admission control: reject an already-spent budget before any
+    // construction (or cache) work.
+    if (req.limits.cancel && req.limits.cancel->cancelled())
+        return Status::cancelled("mapping '" + mapper->name() +
+                                 "': cancelled before construction");
+    if (req.limits.deadline.expired())
+        return Status::deadlineExceeded(
+            "mapping '" + mapper->name() +
+            "': deadline expired before construction");
 
     const bool consult_cache = cache && caps.cacheable &&
                                req.contentHash.has_value();
@@ -308,6 +447,15 @@ MapperRegistry::build(const MappingRequest &req, MappingStore *cache) const
     StatusOr<MappingResult> built = [&]() -> StatusOr<MappingResult> {
         try {
             return mapper->build(req);
+        } catch (const DeadlineExceededError &e) {
+            return Status::deadlineExceeded("mapping '" + mapper->name() +
+                                            "': " + e.what());
+        } catch (const CancelledError &e) {
+            return Status::cancelled("mapping '" + mapper->name() +
+                                     "': " + e.what());
+        } catch (const std::bad_alloc &) {
+            return Status::resourceExhausted("mapping '" + mapper->name() +
+                                             "': allocation failed");
         } catch (const std::exception &e) {
             return Status::internal("mapping '" + mapper->name() +
                                     "' failed: " + e.what());

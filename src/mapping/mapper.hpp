@@ -39,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "fermion/majorana.hpp"
 #include "mapping/mapping.hpp"
 #include "tree/ternary_tree.hpp"
@@ -58,6 +59,9 @@ class Status
         NotFound,        //!< unknown mapper kind
         AlreadyExists,   //!< duplicate registration
         Internal,        //!< construction failed unexpectedly
+        DeadlineExceeded,  //!< RunLimits time budget expired mid-build
+        Cancelled,         //!< CancelToken fired mid-build
+        ResourceExhausted, //!< allocation failed / a hard cap was hit
     };
 
     Status() = default;
@@ -85,6 +89,21 @@ class Status
     internal(std::string msg)
     {
         return {Code::Internal, std::move(msg)};
+    }
+    static Status
+    deadlineExceeded(std::string msg)
+    {
+        return {Code::DeadlineExceeded, std::move(msg)};
+    }
+    static Status
+    cancelled(std::string msg)
+    {
+        return {Code::Cancelled, std::move(msg)};
+    }
+    static Status
+    resourceExhausted(std::string msg)
+    {
+        return {Code::ResourceExhausted, std::move(msg)};
     }
 
     bool ok() const { return code_ == Code::Ok; }
@@ -155,6 +174,14 @@ struct MappingRequest
      * — the cache key. Without it a MappingStore is never consulted.
      */
     std::optional<uint64_t> contentHash;
+
+    /**
+     * Cooperative run budget (deadline + cancel token), checked at
+     * chunk boundaries inside the builds. On expiry build() returns
+     * Status::DeadlineExceeded / Status::Cancelled; an already-expired
+     * budget is rejected before any construction work.
+     */
+    RunLimits limits;
 };
 
 /** Construction provenance and statistics. */

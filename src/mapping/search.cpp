@@ -410,11 +410,14 @@ nextPermutationBySwaps(std::vector<int> &perm, DeltaWeightEvaluator &eval,
 } // namespace
 
 std::optional<SearchResult>
-exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes)
+exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes,
+                     const RunLimits &limits)
 {
     const uint32_t n = poly.numModes();
     if (n == 0 || n > max_modes)
         return std::nullopt;
+    limits.check();
+    const bool bounded = limits.bounded();
 
     const uint32_t num_leaves = 2 * n + 1;
 
@@ -440,6 +443,12 @@ exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes)
         [&](size_t lo, size_t hi) {
             ShapeBest out;
             for (size_t si = lo; si < hi; ++si) {
+                // Cooperative budget poll: bail without throwing (this
+                // may run on a pool worker); the caller-thread check()
+                // below turns the expiry into the typed exception and
+                // discards every partial result.
+                if (bounded && limits.shouldStop())
+                    break;
                 TernaryTree tree = buildTreeFromShape(shapes[si], n);
                 DeltaWeightEvaluator eval(tree, poly);
                 // Permute which leaf carries each of the 2N+1 labels;
@@ -447,6 +456,7 @@ exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes)
                 std::vector<int> perm(num_leaves);
                 std::iota(perm.begin(), perm.end(), 0);
                 uint64_t w = eval.reset(perm);
+                bool expired = false;
                 do {
                     ++out.evaluated;
                     if (w < out.weight) {
@@ -454,7 +464,14 @@ exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes)
                         out.shape = si;
                         out.labels = perm;
                     }
+                    if (bounded && (out.evaluated & 0xFFFu) == 0 &&
+                        limits.shouldStop()) {
+                        expired = true;
+                        break;
+                    }
                 } while (nextPermutationBySwaps(perm, eval, w));
+                if (expired)
+                    break;
             }
             return out;
         },
@@ -467,6 +484,10 @@ exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes)
             acc.evaluated += part.evaluated;
             return acc;
         });
+
+    // Expiry is monotonic, so if any chunk bailed this throws and the
+    // (possibly incomplete) fold above is never used.
+    limits.check();
 
     TernaryTree best_tree = buildTreeFromShape(shapes[best.shape], n);
     std::vector<int> assign(num_leaves);
@@ -483,9 +504,12 @@ exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes)
 
 SearchResult
 stochasticTreeSearch(const MajoranaPolynomial &poly, uint32_t restarts,
-                     uint32_t max_sweeps, uint64_t seed)
+                     uint32_t max_sweeps, uint64_t seed,
+                     const RunLimits &limits)
 {
     const uint32_t n = poly.numModes();
+    limits.check();
+    const bool bounded = limits.bounded();
     Rng rng(seed);
     const uint32_t num_leaves = 2 * n + 1;
 
@@ -515,6 +539,10 @@ stochasticTreeSearch(const MajoranaPolynomial &poly, uint32_t restarts,
         uint64_t cur = eval.reset(run.labels);
         run.evaluated = 1;
         for (uint32_t sweep = 0; sweep < max_sweeps; ++sweep) {
+            // Worker-safe budget poll once per sweep; the caller-thread
+            // check() after the parallelFor surfaces the expiry.
+            if (bounded && limits.shouldStop())
+                break;
             bool improved = false;
             for (uint32_t i = 0; i < num_leaves; ++i) {
                 for (uint32_t j = i + 1; j < num_leaves; ++j) {
@@ -533,6 +561,8 @@ stochasticTreeSearch(const MajoranaPolynomial &poly, uint32_t restarts,
         }
         run.weight = cur;
     });
+
+    limits.check();
 
     // Fold in restart order: strict < keeps the earliest best, exactly as
     // the serial loop did.

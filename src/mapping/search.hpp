@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "fermion/majorana.hpp"
 #include "mapping/mapping.hpp"
 #include "tree/ternary_tree.hpp"
@@ -96,19 +97,26 @@ uint64_t treeAssignmentWeight(const TernaryTree &tree,
  * touch a moved label. Chunks fold in shape order with a strict <, so the
  * first-strict-minimum tie-break is bit-identical to the historical
  * serial scan for every HATT_THREADS value.
+ *
+ * @p limits is polled every few thousand permutations inside the walk;
+ * on expiry the search throws DeadlineExceededError / CancelledError
+ * from the calling thread (worker chunks bail cooperatively first).
  */
 std::optional<SearchResult>
-exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes = 3);
+exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes = 3,
+                     const RunLimits &limits = {});
 
 /**
  * Random-restart hill climbing: random complete trees with random leaf
  * assignments, improved by leaf-label swaps until no improving swap
  * exists, best of @p restarts restarts. Deterministic given @p seed.
+ * @p limits is polled per hill-climbing sweep, as in exhaustiveTreeSearch.
  */
 SearchResult stochasticTreeSearch(const MajoranaPolynomial &poly,
                                   uint32_t restarts = 8,
                                   uint32_t max_sweeps = 30,
-                                  uint64_t seed = 1234);
+                                  uint64_t seed = 1234,
+                                  const RunLimits &limits = {});
 
 } // namespace hatt
 

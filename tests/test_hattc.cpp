@@ -309,11 +309,11 @@ TEST(Hattc, BatchReportDeterministicAcrossThreadsAndAllHitsWhenWarm)
               warm.at("summary").at("inputs").asInt());
     EXPECT_GT(warm.at("summary").at("inputs").asInt(), 0);
 
-    // The v2 report keys rows "<name>:<mapping>" and carries the
+    // The v3 report keys rows "<name>:<mapping>" and carries the
     // paper's recorded outcomes for the corpus.
     JsonValue doc = JsonValue::parse(report);
     EXPECT_EQ(doc.at("format").asString(), "hatt-batch-report");
-    EXPECT_EQ(doc.at("version").asInt(), 2);
+    EXPECT_EQ(doc.at("version").asInt(), 3);
     EXPECT_EQ(doc.at("summary").at("failed").asInt(), 0);
     bool saw_h2 = false;
     for (const JsonValue &rec : doc.at("inputs").asArray()) {
@@ -541,7 +541,7 @@ TEST(Hattc, BatchDiscoversRecursivelyAndFiltersWithGlob)
     EXPECT_EQ(run({"batch", corpus.string(), "--glob", "*.nope", "-o",
                    (dir / "none").string()},
                   &text),
-              2);
+              65);
     const std::string manifest = (dir / "m.txt").string();
     {
         std::ofstream os(manifest);
@@ -550,7 +550,7 @@ TEST(Hattc, BatchDiscoversRecursivelyAndFiltersWithGlob)
     EXPECT_EQ(run({"batch", manifest, "--glob", "*.ops", "-o",
                    (dir / "mf").string()},
                   &text),
-              2);
+              65);
     EXPECT_NE(text.find("manifest"), std::string::npos) << text;
     fs::remove_all(dir);
 }
@@ -737,68 +737,222 @@ TEST(Hattc, CacheListIsReadOnlyAndGcRepairsDrift)
     fs::remove_all(dir);
 }
 
+/** A 5-mode input: big enough that fh-exact's exhaustive scan (11!
+    label permutations x hundreds of shapes) cannot finish inside any
+    sub-second budget, small enough that every other mapper is
+    instant. */
+std::string
+writeSlowInput(const fs::path &dir)
+{
+    const std::string path = (dir / "slow5.ops").string();
+    std::ofstream os(path);
+    os << "modes 5\n";
+    for (int i = 0; i < 5; ++i)
+        os << "1.0 [" << i << "^ " << i << "]\n";
+    for (int i = 0; i < 4; ++i)
+        os << "0.5 [" << i << "^ " << (i + 1) << "]\n";
+    return path;
+}
+
+TEST(Hattc, TimeoutExpiresAndFallbackDegrades)
+{
+    fs::path dir = scratchDir("timeout");
+    const std::string slow = writeSlowInput(dir);
+    std::string text;
+
+    // Budget expiry without --fallback: EX_TEMPFAIL, and the
+    // diagnostic names the deadline.
+    EXPECT_EQ(run({"compile", slow, "--mapping", "fh-exact", "--timeout",
+                   "0.05", "-o", (dir / "none").string()},
+                  &text),
+              75);
+    EXPECT_NE(text.find("deadline"), std::string::npos) << text;
+
+    // --fallback degrades to the deterministic btt construction
+    // instead: exit 0, artifacts on disk, degraded flagged in both the
+    // human output and the metrics record.
+    ASSERT_EQ(run({"compile", slow, "--mapping", "fh-exact", "--timeout",
+                   "0.05", "--fallback", "-o", (dir / "fb").string()},
+                  &text),
+              0)
+        << text;
+    EXPECT_NE(text.find("[degraded to btt"), std::string::npos) << text;
+    EXPECT_TRUE(fs::exists(dir / "fb/slow5.qubit.json"));
+    JsonValue metrics =
+        io::loadJsonFile((dir / "fb/slow5.metrics.json").string());
+    EXPECT_TRUE(
+        metrics.at("records").at(size_t{0}).at("degraded").asBool());
+
+    // An ample budget completes normally and records degraded: false.
+    ASSERT_EQ(run({"compile", dataFile("eq3.ops"), "--mapping", "hatt",
+                   "--timeout", "600", "-o", (dir / "ok").string()},
+                  &text),
+              0)
+        << text;
+    JsonValue ok_metrics =
+        io::loadJsonFile((dir / "ok/eq3.metrics.json").string());
+    EXPECT_FALSE(
+        ok_metrics.at("records").at(size_t{0}).at("degraded").asBool());
+
+    // Budget option validation.
+    EXPECT_EQ(run({"compile", slow, "--timeout", "0"}, &text), 64);
+    EXPECT_EQ(run({"compile", slow, "--timeout", "-1"}, &text), 64);
+    EXPECT_EQ(run({"compile", slow, "--timeout", "nope"}, &text), 64);
+    EXPECT_EQ(run({"stats", slow, "--timeout", "1"}, &text), 64);
+    EXPECT_EQ(run({"mappings", "--fallback"}, &text), 64);
+    fs::remove_all(dir);
+}
+
+TEST(Hattc, InputCapsRejectOversizedInputs)
+{
+    std::string text;
+    const std::string eq3 = dataFile("eq3.ops");
+    const std::string h2 = dataFile("h2.ops");
+
+    // Term cap: eq3 has more than one term.
+    EXPECT_EQ(run({"stats", eq3, "--max-terms", "1"}, &text), 65);
+    EXPECT_NE(text.find("term cap"), std::string::npos) << text;
+    // Mode cap: h2 uses 4 modes.
+    EXPECT_EQ(run({"stats", h2, "--max-modes", "2"}, &text), 65);
+    EXPECT_NE(text.find("mode cap"), std::string::npos) << text;
+    // The FCIDUMP parser enforces the same caps (2*NORB vs the mode
+    // cap, integral lines vs the term cap).
+    const std::string fci = dataFile("h2.fcidump");
+    EXPECT_EQ(run({"stats", fci, "--max-modes", "2"}, &text), 65);
+    EXPECT_NE(text.find("mode cap"), std::string::npos) << text;
+    EXPECT_EQ(run({"stats", fci, "--max-terms", "2"}, &text), 65);
+    // Generous caps pass untouched.
+    EXPECT_EQ(run({"stats", eq3, "--max-terms", "100000", "--max-modes",
+                   "64"},
+                  &text),
+              0)
+        << text;
+    // Cap option validation.
+    EXPECT_EQ(run({"stats", eq3, "--max-terms", "0"}, &text), 64);
+    EXPECT_EQ(run({"stats", eq3, "--max-modes", "0"}, &text), 64);
+    EXPECT_EQ(run({"verify", "x.json", "--max-terms", "5"}, &text), 64);
+}
+
+TEST(Hattc, BatchTimeoutAndDegradedStatuses)
+{
+    fs::path dir = scratchDir("batchtimeout");
+    fs::path corpus = dir / "corpus";
+    fs::create_directories(corpus);
+    writeSlowInput(corpus);
+    fs::copy_file(dataFile("eq3.ops"), corpus / "eq3.ops");
+    const std::string manifest = (dir / "m.txt").string();
+    {
+        std::ofstream os(manifest);
+        os << "corpus/eq3.ops hatt\n";
+        os << "corpus/slow5.ops fh-exact\n";
+    }
+    std::string text;
+
+    // Without --fallback the slow item times out: its own status is
+    // "timeout", the batch exits 1, and the healthy item is untouched.
+    EXPECT_EQ(run({"batch", manifest, "--timeout", "0.1", "-o",
+                   (dir / "t").string()},
+                  &text),
+              1);
+    EXPECT_NE(text.find("TIME"), std::string::npos) << text;
+    JsonValue report =
+        io::loadJsonFile((dir / "t/batch_report.json").string());
+    ASSERT_EQ(report.at("inputs").size(), 2u);
+    EXPECT_EQ(report.at("inputs").at(size_t{0}).at("key").asString(),
+              "eq3.ops:hatt");
+    EXPECT_EQ(report.at("inputs").at(size_t{0}).at("status").asString(),
+              "ok");
+    EXPECT_EQ(report.at("inputs").at(size_t{1}).at("key").asString(),
+              "slow5.ops:fh-exact");
+    EXPECT_EQ(report.at("inputs").at(size_t{1}).at("status").asString(),
+              "timeout");
+    EXPECT_EQ(report.at("summary").at("failed").asInt(), 1);
+    EXPECT_EQ(report.at("summary").at("degraded").asInt(), 0);
+
+    // With --fallback the same corpus completes: the slow item degrades
+    // to btt, counts as succeeded, and the batch exits 0.
+    EXPECT_EQ(run({"batch", manifest, "--timeout", "0.1", "--fallback",
+                   "-o", (dir / "fb").string()},
+                  &text),
+              0)
+        << text;
+    EXPECT_NE(text.find("[degraded]"), std::string::npos) << text;
+    JsonValue fb =
+        io::loadJsonFile((dir / "fb/batch_report.json").string());
+    EXPECT_EQ(fb.at("inputs").at(size_t{1}).at("status").asString(),
+              "degraded");
+    EXPECT_EQ(fb.at("summary").at("failed").asInt(), 0);
+    EXPECT_EQ(fb.at("summary").at("degraded").asInt(), 1);
+    // Degraded items still publish their artifacts.
+    EXPECT_TRUE(
+        fs::exists(dir / "fb/slow5.ops:fh-exact/slow5.qubit.json"));
+    fs::remove_all(dir);
+}
+
 TEST(Hattc, ReportsUsageAndInputErrors)
 {
     std::string text;
-    EXPECT_EQ(run({}, &text), 2);
+    EXPECT_EQ(run({}, &text), 64);
     EXPECT_NE(text.find("usage:"), std::string::npos);
-    EXPECT_EQ(run({"frobnicate", "x"}, &text), 2);
-    EXPECT_EQ(run({"map"}, &text), 2);
-    EXPECT_EQ(run({"map", "in.ops", "--mapping", "nope"}, &text), 2);
-    EXPECT_EQ(run({"map", "in.ops", "--format", "nope"}, &text), 2);
-    EXPECT_EQ(run({"map", "/nonexistent/input.ops"}, &text), 2);
+    EXPECT_EQ(run({"frobnicate", "x"}, &text), 64);
+    EXPECT_EQ(run({"map"}, &text), 64);
+    EXPECT_EQ(run({"map", "in.ops", "--mapping", "nope"}, &text), 64);
+    EXPECT_EQ(run({"map", "in.ops", "--format", "nope"}, &text), 64);
+    EXPECT_EQ(run({"map", "/nonexistent/input.ops"}, &text), 65);
     EXPECT_NE(text.find("cannot open"), std::string::npos) << text;
 
     // Unknown mapping kinds name the registry's full kind list, so the
     // CLI diagnostic and `hattc mappings` cannot drift apart.
-    EXPECT_EQ(run({"map", "in.ops", "--mapping", "nope"}, &text), 2);
+    EXPECT_EQ(run({"map", "in.ops", "--mapping", "nope"}, &text), 64);
     for (const std::string &kind : io::hattcMappingKinds())
         EXPECT_NE(text.find(kind), std::string::npos) << kind;
     // Registry lookup is case-insensitive, so display labels work too.
     EXPECT_EQ(run({"map", "/nonexistent/input.ops", "--mapping", "JW"},
                   &text),
-              2);
+              65);
     EXPECT_NE(text.find("cannot open"), std::string::npos) << text;
 
     // Batch-only options and the comma-list validation.
-    EXPECT_EQ(run({"map", "in.ops", "--jobs", "2"}, &text), 2);
-    EXPECT_EQ(run({"map", "in.ops", "--glob", "*.ops"}, &text), 2);
-    EXPECT_EQ(run({"map", "in.ops", "--json"}, &text), 2);
-    EXPECT_EQ(run({"batch", "d", "--jobs", "0"}, &text), 2);
-    EXPECT_EQ(run({"batch", "d", "--jobs", "nope"}, &text), 2);
-    EXPECT_EQ(run({"batch", "d", "--glob", ""}, &text), 2);
-    EXPECT_EQ(run({"batch", "d", "--mapping", "hatt,,jw"}, &text), 2);
+    EXPECT_EQ(run({"map", "in.ops", "--jobs", "2"}, &text), 64);
+    EXPECT_EQ(run({"map", "in.ops", "--glob", "*.ops"}, &text), 64);
+    EXPECT_EQ(run({"map", "in.ops", "--json"}, &text), 64);
+    EXPECT_EQ(run({"batch", "d", "--jobs", "0"}, &text), 64);
+    EXPECT_EQ(run({"batch", "d", "--jobs", "nope"}, &text), 64);
+    EXPECT_EQ(run({"batch", "d", "--glob", ""}, &text), 64);
+    EXPECT_EQ(run({"batch", "d", "--mapping", "hatt,,jw"}, &text), 64);
     EXPECT_NE(text.find("empty mapping kind"), std::string::npos) << text;
     EXPECT_EQ(run({"batch", "d", "--mapping", "hatt,frobnicate"}, &text),
-              2);
-    EXPECT_EQ(run({"mappings", "extra"}, &text), 2);
-    EXPECT_EQ(run({"compile", "in.ops", "--mapping", "jw,bk"}, &text), 2);
+              64);
+    EXPECT_EQ(run({"mappings", "extra"}, &text), 64);
+    EXPECT_EQ(run({"compile", "in.ops", "--mapping", "jw,bk"}, &text),
+              64);
 
     // Batch and cache command-line validation.
-    EXPECT_EQ(run({"batch"}, &text), 2);
-    EXPECT_EQ(run({"batch", "/nonexistent/corpus"}, &text), 2);
+    EXPECT_EQ(run({"batch"}, &text), 64);
+    EXPECT_EQ(run({"batch", "/nonexistent/corpus"}, &text), 65);
     EXPECT_NE(text.find("cannot open batch manifest"),
               std::string::npos)
         << text;
-    EXPECT_EQ(run({"cache"}, &text), 2);
-    EXPECT_EQ(run({"cache", "frobnicate", "d"}, &text), 2);
-    EXPECT_EQ(run({"cache", "gc"}, &text), 2);
-    EXPECT_EQ(run({"cache", "gc", "d", "--max-bytes", "nope"}, &text), 2);
+    EXPECT_EQ(run({"cache"}, &text), 64);
+    EXPECT_EQ(run({"cache", "frobnicate", "d"}, &text), 64);
+    EXPECT_EQ(run({"cache", "gc"}, &text), 64);
+    EXPECT_EQ(run({"cache", "gc", "d", "--max-bytes", "nope"}, &text),
+              64);
     // A negative value must be a usage error, not a 2^64 wraparound
     // that silently evicts everything (or nothing).
-    EXPECT_EQ(run({"cache", "gc", "d", "--max-age", "-5"}, &text), 2);
+    EXPECT_EQ(run({"cache", "gc", "d", "--max-age", "-5"}, &text), 64);
     EXPECT_NE(text.find("non-negative"), std::string::npos) << text;
     // 2^63 would wrap negative through the int64 cast: same hazard.
     EXPECT_EQ(run({"cache", "gc", "d", "--max-age",
                    "9223372036854775808"},
                   &text),
-              2);
-    EXPECT_EQ(run({"cache", "gc", "d", "--check"}, &text), 2);
-    EXPECT_EQ(run({"compile", "in.ops", "--max-age", "5"}, &text), 2);
+              64);
+    EXPECT_EQ(run({"cache", "gc", "d", "--check"}, &text), 64);
+    EXPECT_EQ(run({"compile", "in.ops", "--max-age", "5"}, &text), 64);
     // A typo'd cache directory is an error, not an empty healthy cache.
-    EXPECT_EQ(run({"cache", "gc", "/nonexistent/cache"}, &text), 2);
+    EXPECT_EQ(run({"cache", "gc", "/nonexistent/cache"}, &text), 65);
     EXPECT_NE(text.find("does not exist"), std::string::npos) << text;
-    EXPECT_EQ(run({"cache", "list", "/nonexistent/cache"}, &text), 2);
+    EXPECT_EQ(run({"cache", "list", "/nonexistent/cache"}, &text), 65);
 
     // A manifest line with an unknown mapping kind is a ParseError with
     // its line number.
@@ -808,21 +962,21 @@ TEST(Hattc, ReportsUsageAndInputErrors)
         std::ofstream os(manifest);
         os << "whatever.ops frobnicate\n";
     }
-    EXPECT_EQ(run({"batch", manifest}, &text), 2);
+    EXPECT_EQ(run({"batch", manifest}, &text), 65);
     EXPECT_NE(text.find("line 1"), std::string::npos) << text;
     fs::remove_all(mdir);
 
-    // Malformed input file -> parse diagnostics, exit 2.
+    // Malformed input file -> parse diagnostics, exit 65 (EX_DATAERR).
     fs::path dir = scratchDir("badinput");
     const std::string bad = (dir / "bad.ops").string();
     {
         std::ofstream os(bad);
         os << "modes 2\n1.0 [0^ 1\n";
     }
-    EXPECT_EQ(run({"compile", bad}, &text), 2);
+    EXPECT_EQ(run({"compile", bad}, &text), 65);
     EXPECT_NE(text.find("line 2"), std::string::npos) << text;
 
-    // A term with > 30 ladder operators must surface as a clean exit-2
+    // A term with > 30 ladder operators must surface as a clean exit-65
     // diagnostic on the caller thread — never as an exception thrown on
     // a pool worker mid-flush (which would terminate the process).
     const std::string wide = (dir / "wide.ops").string();
@@ -834,7 +988,7 @@ TEST(Hattc, ReportsUsageAndInputErrors)
         os << "]\n";
     }
     setParallelThreads(4);
-    EXPECT_EQ(run({"compile", wide}, &text), 2);
+    EXPECT_EQ(run({"compile", wide}, &text), 65);
     setParallelThreads(0);
     EXPECT_NE(text.find("30 ladder operators"), std::string::npos)
         << text;

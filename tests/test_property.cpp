@@ -15,10 +15,19 @@
  */
 
 #include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <typeinfo>
 
 #include <gtest/gtest.h>
 
 #include "ham/qubit_hamiltonian.hpp"
+#include "io/fcidump.hpp"
+#include "io/fermion_text.hpp"
+#include "io/json.hpp"
+#include "io/limits.hpp"
 #include "mapping/balanced_tree.hpp"
 #include "mapping/bravyi_kitaev.hpp"
 #include "mapping/hatt.hpp"
@@ -249,6 +258,194 @@ TEST_P(SizeSweep, ChainMappingsValidAtEverySize)
 INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 7u, 9u,
                                            12u, 16u, 21u, 27u));
+
+// ------------------------------------------------------------------ fuzz
+//
+// Property-based corruption tests for the three input readers: take a
+// valid document, damage it deterministically (truncation, byte flips,
+// garbage splices, giant exponents, duplicate keys), and assert the
+// parser either accepts the result or raises ParseError — never any
+// other exception, unbounded allocation, or crash. Seeded: every
+// failure reproduces from its iteration index. The default pass is a
+// fixed iteration budget; set HATT_FUZZ_SECONDS to keep fuzzing on a
+// wall-clock budget instead (the CI smoke job does).
+
+/** splitmix64: tiny deterministic generator for the corruptions. */
+struct FuzzRng
+{
+    uint64_t state;
+    explicit FuzzRng(uint64_t seed) : state(seed) {}
+    uint64_t next()
+    {
+        state += 0x9e3779b97f4a7c15ULL;
+        uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+    size_t below(size_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+/** One deterministic corruption of @p text, chosen by the rng. */
+std::string
+corrupt(const std::string &text, FuzzRng &rng)
+{
+    std::string s = text;
+    switch (rng.below(6)) {
+      case 0: // random truncation
+        s.resize(rng.below(s.size() + 1));
+        break;
+      case 1: // byte flips
+        for (int i = 0; i < 4 && !s.empty(); ++i)
+            s[rng.below(s.size())] ^=
+                static_cast<char>(1u << rng.below(8));
+        break;
+      case 2: // splice printable garbage
+        s.insert(rng.below(s.size() + 1),
+                 std::string(1 + rng.below(12),
+                             static_cast<char>(' ' + rng.below(95))));
+        break;
+      case 3: { // giant exponent where a number might sit
+        const char *huge = rng.below(2) ? "1e999999999" : "-9.9e-999999";
+        s.insert(rng.below(s.size() + 1), huge);
+        break;
+      }
+      case 4: // duplicate a random line (duplicate keys for JSON)
+        if (size_t nl = s.find('\n'); nl != std::string::npos) {
+            size_t start = rng.below(s.size());
+            start = s.rfind('\n', start);
+            start = start == std::string::npos ? 0 : start + 1;
+            size_t end = s.find('\n', start);
+            end = end == std::string::npos ? s.size() : end + 1;
+            s.insert(start, s.substr(start, end - start));
+        }
+        break;
+      case 5: // swap two random spans
+        if (s.size() > 8) {
+            size_t a = rng.below(s.size() / 2);
+            size_t b = s.size() / 2 + rng.below(s.size() / 2 - 4);
+            for (int i = 0; i < 4; ++i)
+                std::swap(s[a + i], s[b + i]);
+        }
+        break;
+    }
+    return s;
+}
+
+/** Tight caps so even an "accepted" corruption stays tiny. */
+io::ParseLimits
+fuzzLimits()
+{
+    io::ParseLimits limits;
+    limits.maxTerms = 4096;
+    limits.maxModes = 256;
+    limits.maxLineBytes = 1u << 12;
+    limits.maxFileBytes = 1u << 16;
+    return limits;
+}
+
+/** Iteration budget: fixed by default, wall-clock under
+    HATT_FUZZ_SECONDS (used by the CI fuzz smoke job). */
+template <typename Fn>
+void
+fuzzLoop(uint64_t seed, const std::string &valid, Fn &&attempt)
+{
+    double budget_seconds = 0.0;
+    if (const char *env = std::getenv("HATT_FUZZ_SECONDS"))
+        budget_seconds = std::atof(env);
+    const auto start = std::chrono::steady_clock::now();
+    const int fixed_iters = 400;
+    for (int i = 0;; ++i) {
+        if (budget_seconds > 0.0) {
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (elapsed >= budget_seconds)
+                break;
+        } else if (i >= fixed_iters) {
+            break;
+        }
+        FuzzRng rng(seed ^ (0x5eedULL + static_cast<uint64_t>(i)));
+        const std::string mutated = corrupt(valid, rng);
+        try {
+            attempt(mutated);
+        } catch (const io::ParseError &) {
+            // The clean rejection path: exactly what hostile input
+            // must produce.
+        } catch (const std::exception &e) {
+            FAIL() << "iteration " << i << ": non-ParseError "
+                   << typeid(e).name() << ": " << e.what()
+                   << "\ninput:\n"
+                   << mutated;
+        }
+    }
+}
+
+TEST(FuzzReaders, OpsReaderRejectsCorruptionCleanly)
+{
+    const std::string valid = "modes 4\n"
+                              "0.5 [0^ 1]\n"
+                              "-0.25 [2^ 3^ 3 2]\n"
+                              "1.25e-3 [1^ 0]\n"
+                              "0.75 []\n";
+    // The seed parses before any corruption is applied.
+    {
+        std::istringstream in(valid);
+        io::FermionTextInfo info = io::streamFermionText(
+            in, [](FermionTerm &&) { return true; }, fuzzLimits());
+        EXPECT_EQ(info.numModes, 4u);
+        EXPECT_EQ(info.numTerms, 4u);
+    }
+    fuzzLoop(0x0905ULL, valid, [](const std::string &mutated) {
+        std::istringstream in(mutated);
+        io::streamFermionText(
+            in, [](FermionTerm &&) { return true; }, fuzzLimits());
+    });
+}
+
+TEST(FuzzReaders, FcidumpReaderRejectsCorruptionCleanly)
+{
+    const std::string valid = "&FCI NORB=2,NELEC=2,MS2=0,\n"
+                              "  ORBSYM=1,1,\n"
+                              "  ISYM=1,\n"
+                              "&END\n"
+                              " 0.675 1 1 1 1\n"
+                              " 0.180 2 1 2 1\n"
+                              " -1.256 1 1 0 0\n"
+                              " 0.719 0 0 0 0\n";
+    {
+        std::istringstream in(valid);
+        EXPECT_EQ(io::parseFcidump(in, fuzzLimits()).numOrbitals, 2u);
+    }
+    fuzzLoop(0xFC1DULL, valid, [](const std::string &mutated) {
+        std::istringstream in(mutated);
+        io::parseFcidump(in, fuzzLimits());
+    });
+}
+
+TEST(FuzzReaders, JsonReaderRejectsCorruptionCleanly)
+{
+    const std::string valid = "{\n"
+                              "  \"format\": \"hatt-mapping\",\n"
+                              "  \"version\": 1,\n"
+                              "  \"num_modes\": 2,\n"
+                              "  \"coeffs\": [1.0, -0.5, 2.5e-4],\n"
+                              "  \"labels\": [\"XX\", \"YZ\", \"IZ\"],\n"
+                              "  \"nested\": {\"a\": [true, false, null]}\n"
+                              "}\n";
+    EXPECT_EQ(io::JsonValue::parse(valid).at("num_modes").asInt(), 2);
+    fuzzLoop(0x1500ULL, valid, [](const std::string &mutated) {
+        // Byte cap mirrors loadJsonFile's guard on real files.
+        if (mutated.size() > fuzzLimits().maxFileBytes)
+            return;
+        io::JsonValue doc = io::JsonValue::parse(mutated);
+        // A mutation that still parses must also survive re-serialize
+        // + re-parse (the round-trip half of the property).
+        io::JsonValue again = io::JsonValue::parse(doc.dump(2));
+        (void)again;
+    });
+}
 
 } // namespace
 } // namespace hatt
