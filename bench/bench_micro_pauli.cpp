@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "fermion/majorana.hpp"
 #include "ham/qubit_hamiltonian.hpp"
 #include "mapping/hatt.hpp"
@@ -114,6 +115,21 @@ writeJsonLog()
         benchmark::DoNotOptimize(sink);
         json.add("pauli_multiply_64q_x" + std::to_string(reps),
                  t.seconds());
+
+        // Same workload with a disarmed trace::Span per iteration: the
+        // twin record pins the observability contract that an unarmed
+        // span costs one relaxed atomic load — the two records must
+        // stay within each other's run-to-run noise.
+        Timer t2;
+        uint64_t sink2 = 0;
+        for (int i = 0; i < reps; ++i) {
+            trace::Span span("bench", "pauli_multiply");
+            auto [c, phase] = PauliString::multiply(a, b);
+            sink2 += c.weight() + static_cast<uint64_t>(phase);
+        }
+        benchmark::DoNotOptimize(sink2);
+        json.add("pauli_multiply_64q_span_x" + std::to_string(reps),
+                 t2.seconds());
     }
 
     for (uint32_t n : {64u, 128u}) {

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "common/metrics.hpp"
+
 namespace hatt {
 
 Deadline
@@ -29,10 +31,16 @@ Deadline::remainingSeconds() const
 void
 RunLimits::check() const
 {
-    if (cancel && cancel->cancelled())
+    // Counted at the throw sites, not per poll: a poll that passes is
+    // the overwhelmingly common case and carries no signal.
+    if (cancel && cancel->cancelled()) {
+        metrics::add("deadline.cancellations");
         throw CancelledError();
-    if (deadline.expired())
+    }
+    if (deadline.expired()) {
+        metrics::add("deadline.expirations");
         throw DeadlineExceededError();
+    }
 }
 
 } // namespace hatt

@@ -1,5 +1,7 @@
 #include "common/fault.hpp"
 
+#include "common/metrics.hpp"
+
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
@@ -183,6 +185,9 @@ at(const char *point)
         if (u >= rule.prob)
             return Action::None;
     }
+    // Deterministic by construction: the arrival filter and the seeded
+    // probability gate decide firings, never the clock or a thread id.
+    metrics::add("fault.firings");
     return rule.action;
 }
 

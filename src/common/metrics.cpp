@@ -1,0 +1,68 @@
+#include "common/metrics.hpp"
+
+#include <mutex>
+
+namespace hatt::metrics {
+
+namespace {
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, TimingStat> timings;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace
+
+void
+add(const char *name, uint64_t delta)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.counters[name] += delta;
+}
+
+void
+observe(const char *name, double seconds)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto [it, inserted] = r.timings.try_emplace(name);
+    TimingStat &stat = it->second;
+    if (inserted || seconds < stat.min)
+        stat.min = seconds;
+    if (inserted || seconds > stat.max)
+        stat.max = seconds;
+    ++stat.count;
+    stat.total += seconds;
+}
+
+Snapshot
+snapshot()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    Snapshot snap;
+    snap.counters = r.counters;
+    snap.timings = r.timings;
+    return snap;
+}
+
+void
+reset()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.counters.clear();
+    r.timings.clear();
+}
+
+} // namespace hatt::metrics

@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "common/fault.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace hatt {
 
@@ -80,6 +82,8 @@ class WorkPool
         if (fault::at("pool.dispatch") != fault::Action::None)
             throw std::runtime_error(
                 "fault injected: pool.dispatch refused");
+        trace::Span span("pool", "dispatch");
+        metrics::ScopedTimer dispatch_timer("pool.dispatch_seconds");
         unsigned th;
         {
             std::lock_guard<std::mutex> lock(config_mutex_);
@@ -312,6 +316,11 @@ template <typename Body>
 void
 parallelFor(size_t n, size_t grain, Body &&body)
 {
+    // Deterministic pool accounting: call sites and element counts are
+    // pure functions of the workload (chunk counts are NOT — grains may
+    // scale with the thread count — so chunks are never counted here).
+    metrics::add("pool.parallel_ops");
+    metrics::add("pool.parallel_items", n);
     const size_t chunks = detail::chunkCount(n, grain);
     if (chunks <= 1) {
         for (size_t i = 0; i < n; ++i)
@@ -340,6 +349,8 @@ Result
 parallelReduceChunks(size_t n, size_t grain, Result identity, ChunkFn &&chunk,
                      CombineFn &&combine)
 {
+    metrics::add("pool.parallel_ops");
+    metrics::add("pool.parallel_items", n);
     const size_t chunks = detail::chunkCount(n, grain);
     if (chunks <= 1)
         return n == 0 ? identity : chunk(size_t{0}, n);

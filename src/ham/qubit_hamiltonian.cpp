@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 
 namespace hatt {
@@ -104,6 +105,12 @@ QubitMappingEngine::mapBatch(const MajoranaTerm *terms, size_t count)
             return out;
         });
     limits_.check();
+    // Counted only when the whole batch committed: an expired deadline
+    // above contributes nothing, exactly like the partial it discards.
+    if (count > 0) {
+        metrics::add("map.batches");
+        metrics::add("map.monomials", count);
+    }
     mapped_.append(std::move(batch));
 }
 

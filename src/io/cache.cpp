@@ -16,6 +16,9 @@
 #include <thread>
 
 #include "common/fault.hpp"
+#include "common/metrics.hpp"
+#include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "io/serialize.hpp"
 
 namespace hatt::io {
@@ -131,6 +134,9 @@ class FileLock
   public:
     explicit FileLock(const std::string &path)
     {
+        // The wait is pure scheduling noise, so it is a volatile
+        // timing, never a deterministic counter.
+        Timer wait;
         fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
         if (fd_ < 0)
             return; // unwritable dir: store() will surface the real error
@@ -138,12 +144,18 @@ class FileLock
         for (int attempt = 0; attempt < 8; ++attempt) {
             if (::flock(fd_, LOCK_EX | LOCK_NB) == 0) {
                 locked_ = true;
+                if (attempt > 0)
+                    trace::instant("cache", "lock_contended");
+                metrics::observe("cache.lock_wait_seconds",
+                                 wait.seconds());
                 return;
             }
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(delay_ms));
             delay_ms *= 2;
         }
+        trace::instant("cache", "lock_timeout");
+        metrics::observe("cache.lock_wait_seconds", wait.seconds());
     }
 
     ~FileLock()
@@ -255,6 +267,7 @@ MappingCache::recordUse(const std::string &file) const
 std::optional<CachedMapping>
 MappingCache::lookup(uint64_t content_hash, const std::string &kind) const
 {
+    trace::Span span("cache", "lookup");
     const std::string path = entryPath(content_hash, kind);
     std::error_code ec;
     if (!fs::exists(path, ec))
@@ -312,6 +325,8 @@ void
 MappingCache::quarantineEntry(const std::string &path) const
 {
     const std::string name = fs::path(path).filename().string();
+    metrics::add("cache.quarantined");
+    trace::instant("cache", "quarantine:" + name);
     std::error_code ec;
     fs::create_directories(quarantinePath(), ec);
     if (!ec) {
@@ -355,6 +370,7 @@ MappingCache::store(uint64_t content_hash, const std::string &kind,
                     const TernaryTree *tree,
                     std::optional<uint64_t> candidates)
 {
+    trace::Span span("cache", "store");
     std::error_code ec;
     fs::create_directories(dir_, ec);
     if (ec)
@@ -403,6 +419,7 @@ MappingCache::store(uint64_t content_hash, const std::string &kind,
         throw ParseError("cannot publish cache entry " + path);
     }
     fsyncDir(dir_);
+    metrics::add("cache.stores");
     recordUse(fs::path(path).filename().string());
 }
 

@@ -10,9 +10,12 @@
 #include <set>
 #include <sstream>
 
+#include "common/buildinfo.hpp"
 #include "common/deadline.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "ham/qubit_hamiltonian.hpp"
 #include "io/cache.hpp"
 #include "io/fcidump.hpp"
@@ -29,7 +32,7 @@ namespace fs = std::filesystem;
 namespace {
 
 const char *kUsage =
-    "usage: hattc <command> [options]\n"
+    "usage: hattc [global options] <command> [options]\n"
     "\n"
     "commands:\n"
     "  map     <input>         build a fermion-to-qubit mapping\n"
@@ -40,9 +43,17 @@ const char *kUsage =
     "  mappings                list registered mapping kinds and their\n"
     "                          capabilities (--json for machine use)\n"
     "  stats   <input>         parse/preprocess summary + content hash\n"
+    "                          (--json adds the run's metrics snapshot)\n"
     "  verify  <mapping.json>  check mapping validity + vacuum\n"
     "  cache gc   <dir>        evict cache entries, rewrite index.json\n"
     "  cache list <dir>        print the cache index as JSON\n"
+    "\n"
+    "global options (accepted before or after the command):\n"
+    "  --trace FILE     write a Chrome trace-event JSON of this run to\n"
+    "                   FILE (open in chrome://tracing or Perfetto);\n"
+    "                   the HATT_TRACE env var arms the same tracer\n"
+    "  --version        print build provenance (git sha, compiler,\n"
+    "                   flags) and exit\n"
     "\n"
     "options (map/compile/batch/stats):\n"
     "  --mapping KIND   a registered kind (see `hattc mappings`); batch\n"
@@ -98,7 +109,9 @@ struct Options
     unsigned jobs = 0;    //!< batch worker cap; 0 = pool default
     bool requireVacuum = false;
     bool check = false;
-    bool json = false;    //!< mappings: machine-readable listing
+    bool json = false;    //!< mappings/stats: machine-readable output
+    bool version = false; //!< --version: print build info, exit 0
+    std::string traceFile; //!< --trace: Chrome trace output ("" = off)
     std::optional<uint64_t> maxBytes;
     std::optional<int64_t> maxAge;
     ParseLimits limits;   //!< input caps (--max-terms / --max-modes)
@@ -187,11 +200,36 @@ canonicalKind(const std::string &kind)
 }
 
 Options
-parseArgs(const std::vector<std::string> &args)
+parseArgs(const std::vector<std::string> &args_in)
 {
+    // Global options first: they are legal on either side of the
+    // command (`hattc --trace out.json compile in.ops`), so strip them
+    // before positional parsing sees the argument list.
+    Options opt;
+    std::vector<std::string> args;
+    args.reserve(args_in.size());
+    for (size_t i = 0; i < args_in.size(); ++i) {
+        const std::string &a = args_in[i];
+        if (a == "--trace") {
+            if (i + 1 >= args_in.size())
+                throw UsageError("option --trace needs a value");
+            opt.traceFile = args_in[++i];
+            if (opt.traceFile.empty())
+                throw UsageError("--trace needs a non-empty file path");
+        } else if (a == "--version") {
+            opt.version = true;
+        } else {
+            args.push_back(a);
+        }
+    }
+    if (opt.version) {
+        // Like --help in most CLIs: print-and-exit wins over whatever
+        // else is on the line.
+        opt.command = "version";
+        return opt;
+    }
     if (args.empty())
         throw UsageError("missing command");
-    Options opt;
     opt.command = args[0];
     if (opt.command != "map" && opt.command != "compile" &&
         opt.command != "batch" && opt.command != "mappings" &&
@@ -262,8 +300,9 @@ parseArgs(const std::vector<std::string> &args)
                 throw UsageError("--max-modes needs at least 1 mode");
             opt.limits.maxModes = static_cast<uint32_t>(n);
         } else if (a == "--json") {
-            if (opt.command != "mappings")
-                throw UsageError("--json only applies to mappings");
+            if (opt.command != "mappings" && opt.command != "stats")
+                throw UsageError("--json only applies to mappings and "
+                                 "stats");
             opt.json = true;
         } else if (a == "--require-vacuum") {
             if (opt.command != "verify")
@@ -411,16 +450,80 @@ buildRequestedMapping(const std::string &kind, const LoadedProblem &problem,
     return std::move(built).value();
 }
 
+/** Build provenance stamped into reports/stats (see buildinfo.hpp). */
+JsonValue
+buildInfoDocument()
+{
+    JsonValue doc = JsonValue::object();
+    doc.add("git_sha", buildinfo::kGitSha);
+    doc.add("compiler", buildinfo::kCompiler);
+    doc.add("build_type", buildinfo::kBuildType);
+    doc.add("flags", buildinfo::kFlags);
+    return doc;
+}
+
+/**
+ * The full metrics snapshot as {"deterministic": {...}, "volatile":
+ * {...}} — the payload of `hattc stats --json` and batch_stats.json,
+ * and the exact document the future hattd /stats endpoint will serve.
+ * Deterministic counters are byte-identical for every HATT_THREADS in
+ * a fixed scenario; volatile timings never are, which is why the two
+ * sections are never mixed.
+ */
+JsonValue
+metricsSectionsDocument(const metrics::Snapshot &snap)
+{
+    JsonValue det = JsonValue::object();
+    for (const auto &[name, count] : snap.counters)
+        det.add(name, count);
+    JsonValue vol = JsonValue::object();
+    for (const auto &[name, stat] : snap.timings) {
+        JsonValue rec = JsonValue::object();
+        rec.add("count", stat.count);
+        rec.add("total_seconds", stat.total);
+        rec.add("min_seconds", stat.min);
+        rec.add("max_seconds", stat.max);
+        vol.add(name, std::move(rec));
+    }
+    JsonValue doc = JsonValue::object();
+    doc.add("deterministic", std::move(det));
+    doc.add("volatile", std::move(vol));
+    return doc;
+}
+
+/**
+ * The workload-counter mirror for batch_report.json v4: only the
+ * `parse.*` / `preprocess.*` deterministic counters, which are pure
+ * functions of the input corpus — invariant across HATT_THREADS,
+ * cold-vs-warm cache, and fault injection, so the report stays
+ * byte-comparable across all of those axes (the pinned determinism
+ * contract). The remaining deterministic counters (cache, pool, hatt,
+ * search) live in batch_stats.json's full snapshot.
+ */
+JsonValue
+workloadCountersDocument(const metrics::Snapshot &snap)
+{
+    JsonValue det = JsonValue::object();
+    for (const auto &[name, count] : snap.counters)
+        if (name.rfind("parse.", 0) == 0 ||
+            name.rfind("preprocess.", 0) == 0)
+            det.add(name, count);
+    JsonValue doc = JsonValue::object();
+    doc.add("deterministic", std::move(det));
+    return doc;
+}
+
 /** BENCH_*.json record shape (see bench/README.md). */
 JsonValue
 metricsDocument(const std::string &name, double seconds,
                 std::optional<uint64_t> pauli_weight,
                 std::optional<uint64_t> candidates, bool cache_hit,
-                bool degraded)
+                bool degraded, double cache_seconds)
 {
     JsonValue rec = JsonValue::object();
     rec.add("name", name);
     rec.add("seconds", seconds);
+    rec.add("cache_seconds", cache_seconds);
     rec.add("pauli_weight",
             pauli_weight ? JsonValue(*pauli_weight) : JsonValue(nullptr));
     rec.add("candidates",
@@ -502,11 +605,14 @@ compileInput(const std::string &path, InputFormat format,
     ensureOutDir(out_dir);
     const fs::path dir(out_dir);
     const std::string stem = res.problem.stem;
-    saveJsonFile((dir / (stem + ".mapping.json")).string(),
-                 mappingToJson(res.built.mapping));
-    if (res.built.tree)
-        saveJsonFile((dir / (stem + ".tree.json")).string(),
-                     treeToJson(*res.built.tree));
+    {
+        trace::Span emit_span("driver", "emit");
+        saveJsonFile((dir / (stem + ".mapping.json")).string(),
+                     mappingToJson(res.built.mapping));
+        if (res.built.tree)
+            saveJsonFile((dir / (stem + ".tree.json")).string(),
+                         treeToJson(*res.built.tree));
+    }
 
     std::optional<uint64_t> pauli_weight;
     std::optional<uint64_t> candidates = res.built.metrics.candidates;
@@ -514,29 +620,41 @@ compileInput(const std::string &path, InputFormat format,
     double map_seconds = 0.0;
     if (emit_qubit) {
         Timer timer;
-        // Engine batch entry point over the accumulator's deduplicated
-        // monomials (mapToQubits wraps exactly this; spelled out here so
-        // the shipped driver exercises — and the hattc tests pin — the
-        // engine API itself). A degraded build runs unbounded: its
-        // budget is already spent, and the degradation contract is
-        // "always produces output".
-        QubitMappingEngine engine(res.built.mapping);
-        engine.setLimits(res.degraded ? RunLimits{} : run);
-        engine.addBatch(res.problem.poly.terms());
-        PauliSum hq = engine.finish();
+        std::optional<PauliSum> hq;
+        {
+            trace::Span map_span("driver", "map");
+            // Engine batch entry point over the accumulator's
+            // deduplicated monomials (mapToQubits wraps exactly this;
+            // spelled out here so the shipped driver exercises — and the
+            // hattc tests pin — the engine API itself). A degraded build
+            // runs unbounded: its budget is already spent, and the
+            // degradation contract is "always produces output".
+            QubitMappingEngine engine(res.built.mapping);
+            engine.setLimits(res.degraded ? RunLimits{} : run);
+            engine.addBatch(res.problem.poly.terms());
+            hq = engine.finish();
+        }
         map_seconds = timer.seconds();
-        res.qubitMetrics = hamiltonianMetrics(hq);
+        metrics::observe("map.seconds", map_seconds);
+        res.qubitMetrics = hamiltonianMetrics(*hq);
         pauli_weight = res.qubitMetrics->pauliWeight;
+        trace::Span emit_span("driver", "emit");
         saveJsonFile((dir / (stem + ".qubit.json")).string(),
-                     pauliSumToJson(hq));
+                     pauliSumToJson(*hq));
     }
 
-    res.totalSeconds = res.built.metrics.seconds + map_seconds;
+    // Cache lookup time is part of what this compile actually cost —
+    // without it a cache hit reports ~0 s and the hit path's real cost
+    // (open, parse, validate the entry) silently vanishes.
+    res.totalSeconds = res.built.metrics.seconds +
+                       res.built.metrics.cacheSeconds + map_seconds;
+    trace::Span emit_span("driver", "emit");
     saveJsonFile((dir / (stem + ".metrics.json")).string(),
                  metricsDocument(stem + "/" + kind, res.totalSeconds,
                                  pauli_weight, candidates,
                                  res.built.metrics.cacheHit,
-                                 res.degraded));
+                                 res.degraded,
+                                 res.built.metrics.cacheSeconds));
     return res;
 }
 
@@ -682,6 +800,31 @@ cmdStats(const Options &opt, std::ostream &out)
         majorana_weight += t.indices.size();
         max_degree = std::max(max_degree, t.indices.size());
     }
+    if (opt.json) {
+        // The machine surface: parse summary + build provenance + the
+        // run's full metrics snapshot. The "metrics.deterministic"
+        // object is byte-identical for every HATT_THREADS (asserted in
+        // CI and test_trace) — the payload a future hattd /stats
+        // endpoint will serve per request.
+        JsonValue doc = JsonValue::object();
+        doc.add("format", "hatt-stats");
+        doc.add("version", 1);
+        doc.add("input", opt.input);
+        doc.add("input_format", problem.format);
+        doc.add("modes", problem.numModes);
+        doc.add("fermion_terms",
+                static_cast<uint64_t>(problem.fermionTerms));
+        doc.add("majorana_monomials",
+                static_cast<uint64_t>(problem.poly.size()));
+        doc.add("max_degree", static_cast<uint64_t>(max_degree));
+        doc.add("total_indices", majorana_weight);
+        doc.add("constant_term", problem.poly.constantTerm().real());
+        doc.add("content_hash", hashToHex(problem.contentHash));
+        doc.add("build", buildInfoDocument());
+        doc.add("metrics", metricsSectionsDocument(metrics::snapshot()));
+        out << doc.dump(2) << "\n";
+        return 0;
+    }
     out << "input:             " << opt.input << "\n"
         << "format:            " << problem.format << "\n"
         << "modes:             " << problem.numModes << "\n"
@@ -693,6 +836,16 @@ cmdStats(const Options &opt, std::ostream &out)
         << "\n"
         << "content hash:      " << hashToHex(problem.contentHash)
         << "\n";
+    return 0;
+}
+
+int
+cmdVersion(std::ostream &out)
+{
+    out << "hattc " << buildinfo::kGitSha << " ("
+        << buildinfo::kCompiler << ", " << buildinfo::kBuildType
+        << ")\n"
+        << "flags: " << buildinfo::kFlags << "\n";
     return 0;
 }
 
@@ -819,34 +972,44 @@ loadProblem(const std::string &path, InputFormat format,
 
     ShardedMajoranaPreprocessor acc;
     try {
-    if (format == InputFormat::Ops) {
-        problem.format = "ops";
-        std::ifstream in(path);
-        if (!in)
-            throw ParseError("cannot open file: " + path);
-        FermionTextInfo info =
-            streamFermionText(in, [&](FermionTerm &&term) {
-                acc.add(std::move(term));
-                return true;
-            }, limits);
-        acc.ensureModes(info.numModes);
-        problem.fermionTerms = info.numTerms;
-    } else {
-        problem.format = "fcidump";
-        FermionHamiltonian hf = loadFcidumpHamiltonian(path, limits);
-        for (const FermionTerm &term : hf.terms())
-            acc.add(FermionTerm(term));
-        acc.ensureModes(hf.numModes());
-        problem.fermionTerms = hf.size();
-    }
+        trace::Span parse_span("driver", "parse");
+        metrics::ScopedTimer parse_timer("parse.seconds");
+        if (format == InputFormat::Ops) {
+            problem.format = "ops";
+            std::ifstream in(path);
+            if (!in)
+                throw ParseError("cannot open file: " + path);
+            FermionTextInfo info =
+                streamFermionText(in, [&](FermionTerm &&term) {
+                    acc.add(std::move(term));
+                    return true;
+                }, limits);
+            acc.ensureModes(info.numModes);
+            problem.fermionTerms = info.numTerms;
+        } else {
+            problem.format = "fcidump";
+            FermionHamiltonian hf = loadFcidumpHamiltonian(path, limits);
+            for (const FermionTerm &term : hf.terms())
+                acc.add(FermionTerm(term));
+            acc.ensureModes(hf.numModes());
+            problem.fermionTerms = hf.size();
+        }
     } catch (const std::invalid_argument &e) {
         // Data-shape violations from the Majorana expansion (e.g. a term
         // with > 30 ladder operators) are input errors, not bugs.
         throw ParseError(path + ": " + e.what());
     }
-    problem.poly = acc.finish();
-    problem.numModes = problem.poly.numModes();
-    problem.contentHash = majoranaContentHash(problem.poly);
+    {
+        trace::Span preprocess_span("driver", "preprocess");
+        metrics::ScopedTimer preprocess_timer("preprocess.seconds");
+        problem.poly = acc.finish();
+        problem.numModes = problem.poly.numModes();
+        problem.contentHash = majoranaContentHash(problem.poly);
+    }
+    // Only on success: a failed parse contributes nothing, keeping the
+    // counters invariant under hostile inputs and fault injection.
+    metrics::add("parse.files");
+    metrics::add("parse.fermion_terms", problem.fermionTerms);
     return problem;
 }
 
@@ -1046,10 +1209,12 @@ BatchCompiler::run(std::vector<BatchItem> items) const
     // One work item per chunk: items are the coarse parallel grain, and
     // each item's own stages (sharded preprocessing, candidate scans,
     // qubit mapping) dispatch nested and run inline on this worker.
+    metrics::add("batch.work_items", results.size());
     parallelFor(results.size(), 1, [&](size_t i) {
         BatchItemResult &r = results[i];
         if (!r.error.empty())
             return;
+        trace::Span item_span("batch", "item:" + r.item.key());
         Timer timer;
         try {
             const std::string out_dir =
@@ -1094,6 +1259,7 @@ BatchCompiler::run(std::vector<BatchItem> items) const
             r.error = e.what();
         }
         r.seconds = timer.seconds();
+        metrics::observe("batch.item_seconds", r.seconds);
     });
 
     if (cache) {
@@ -1114,7 +1280,7 @@ BatchCompiler::reportDocument(const std::vector<BatchItemResult> &results)
 {
     JsonValue doc = JsonValue::object();
     doc.add("format", "hatt-batch-report");
-    doc.add("version", 3);
+    doc.add("version", 4);
     size_t ok = 0, degraded = 0;
     uint64_t total_weight = 0;
     JsonValue inputs = JsonValue::array();
@@ -1162,6 +1328,12 @@ BatchCompiler::reportDocument(const std::vector<BatchItemResult> &results)
     summary.add("degraded", static_cast<uint64_t>(degraded));
     summary.add("total_pauli_weight", total_weight);
     doc.add("summary", std::move(summary));
+    // v4: build provenance + the workload-counter mirror (reads the
+    // process-wide metrics scope the driver reset at run entry; see
+    // workloadCountersDocument for why only parse./preprocess. mirror
+    // here).
+    doc.add("build", buildInfoDocument());
+    doc.add("metrics", workloadCountersDocument(metrics::snapshot()));
     return doc;
 }
 
@@ -1190,15 +1362,62 @@ BatchCompiler::statsDocument(const std::vector<BatchItemResult> &results)
     summary.add("cache_hits", static_cast<uint64_t>(hits));
     summary.add("seconds", seconds);
     doc.add("summary", std::move(summary));
+    // The FULL metrics snapshot (both sections) lives here, on the
+    // volatile side of the report/stats split: cache and pool counters
+    // legitimately differ cold-vs-warm, so they must not contaminate
+    // the byte-compared report.
+    doc.add("build", buildInfoDocument());
+    doc.add("metrics", metricsSectionsDocument(metrics::snapshot()));
     return doc;
 }
+
+namespace {
+
+/**
+ * Arms tracing for the duration of one hattc run and flushes on every
+ * exit path, including exceptions, so a crashed compile still leaves a
+ * readable trace file behind.
+ */
+struct TraceGuard {
+    explicit TraceGuard(const Options &opt,
+                        const std::vector<std::string> &args)
+        : armed_(!opt.traceFile.empty())
+    {
+        if (!armed_)
+            return;
+        trace::configure(opt.traceFile);
+        std::string cmdline = "hattc";
+        for (const std::string &a : args)
+            cmdline += " " + a;
+        trace::metadata("command", cmdline);
+    }
+    ~TraceGuard()
+    {
+        if (armed_)
+            trace::flush();
+    }
+    TraceGuard(const TraceGuard &) = delete;
+    TraceGuard &operator=(const TraceGuard &) = delete;
+
+private:
+    bool armed_;
+};
+
+} // namespace
 
 int
 runHattc(const std::vector<std::string> &args, std::ostream &out,
          std::ostream &err)
 {
+    // One run = one metrics scope: report/stats documents snapshot the
+    // registry, so counters left over from a previous in-process run
+    // (tests, future hattd) must not leak in.
+    metrics::reset();
     try {
         Options opt = parseArgs(args);
+        TraceGuard trace_guard(opt, args);
+        if (opt.command == "version")
+            return cmdVersion(out);
         if (opt.command == "stats")
             return cmdStats(opt, out);
         if (opt.command == "verify")

@@ -16,12 +16,18 @@
  *   batch   <dir|manifest>  compile every (input, mapping) work item in
  *                     parallel over the work pool, sharing one mapping
  *                     cache; emits a deterministic batch_report.json
- *                     (v2, rows keyed name:mapping) plus a volatile
- *                     batch_stats.json (timings, cache hits)
+ *                     (v4, rows keyed name:mapping) plus a volatile
+ *                     batch_stats.json (timings, cache hits, metrics)
  *   mappings          list the MapperRegistry (names + capabilities)
- *   stats   <input>   parse/preprocess summary + content hash
+ *   stats   <input>   parse/preprocess summary + content hash (--json
+ *                     adds build info and the run's metrics snapshot)
  *   verify  <mapping.json>  validity + vacuum-preservation check
  *   cache gc|list <dir>     cache eviction / index inspection
+ *
+ * Global options: --trace FILE arms the process-wide trace layer
+ * (Chrome trace-event JSON, same as HATT_TRACE=FILE); --version prints
+ * build provenance. See common/trace.hpp and common/metrics.hpp for
+ * the observability layer the driver instruments.
  *
  * Every mapping is constructed through hatt::MapperRegistry — the CLI
  * validates --mapping against it, `hattc mappings` lists it, and the
@@ -174,14 +180,17 @@ struct BatchOptions
  * Artifacts: every work item compiles into <outDir>/<name>:<mapping>/
  * exactly as `hattc compile` would, plus two batch documents:
  *
- *  - batch_report.json ("hatt-batch-report" v3): per-item status
+ *  - batch_report.json ("hatt-batch-report" v4): per-item status
  *    (ok | error | timeout | degraded | quarantined_cache) and the
  *    deterministic outcome fields (modes, terms, content hash,
  *    qubits, pauli weight, candidates), rows keyed "<name>:<mapping>"
- *    and ordered by (name, mapping, path) — byte-identical for every
- *    HATT_THREADS / --jobs value and across cold/warm cache runs;
+ *    and ordered by (name, mapping, path), plus build provenance and
+ *    the deterministic workload-counter mirror (the parse. and
+ *    preprocess. metrics) — byte-identical for every HATT_THREADS /
+ *    --jobs value and across cold/warm cache runs;
  *  - batch_stats.json ("hatt-batch-stats" v2): the volatile outcome
- *    (seconds, cache hits) in the same order.
+ *    (seconds, cache hits) in the same order, plus the run's full
+ *    metrics snapshot (deterministic + volatile sections).
  */
 class BatchCompiler
 {

@@ -10,6 +10,8 @@
 #include <system_error>
 
 #include "chem/transform.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "io/json.hpp"
 
 namespace hatt::io {
@@ -228,10 +230,14 @@ loadFcidumpHamiltonian(const std::string &path)
 FermionHamiltonian
 loadFcidumpHamiltonian(const std::string &path, const ParseLimits &limits)
 {
+    trace::Span span("io", "parse:fcidump");
     std::ifstream in(path);
     if (!in)
         throw ParseError("cannot open file: " + path);
-    return secondQuantize(parseFcidump(in, limits));
+    FermionHamiltonian hf = secondQuantize(parseFcidump(in, limits));
+    metrics::add("parse.fcidump_files");
+    metrics::add("parse.fcidump_terms", hf.size());
+    return hf;
 }
 
 void

@@ -13,6 +13,8 @@
 #include <system_error>
 
 #include "common/fault.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace hatt::io {
 
@@ -134,6 +136,7 @@ FermionTextInfo
 streamFermionText(std::istream &in, const FermionTermCallback &callback,
                   const ParseLimits &limits)
 {
+    trace::Span span("io", "parse:ops");
     FermionTextInfo info;
     uint32_t max_mode_seen = 0;
     bool any_op = false;
@@ -219,6 +222,11 @@ streamFermionText(std::istream &in, const FermionTermCallback &callback,
 
     if (!info.declaredModes)
         info.numModes = any_op ? max_mode_seen + 1 : 0;
+    // Counted only on successful completion, so a parse failure
+    // contributes nothing (keeps the counters invariant under fault
+    // injection and hostile inputs).
+    metrics::add("parse.ops_streams");
+    metrics::add("parse.ops_terms", info.numTerms);
     return info;
 }
 

@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 
 namespace hatt::io {
 
@@ -153,6 +155,11 @@ ShardedMajoranaPreprocessor::flush()
 {
     if (buffer_.empty())
         return;
+    // Flush counts are a pure function of the feed order and the flush
+    // threshold — deterministic even when parsing aborts mid-input.
+    trace::Span span("io", "shard_flush");
+    metrics::add("preprocess.shard_flushes");
+    metrics::add("preprocess.shard_terms", buffer_.size());
     // Expansion (2^k combos + canonicalization per term) fans out over
     // fixed-size blocks; the reduce concatenates the shard logs in block
     // index order, so the contribution sequence reaching acc_ equals the
@@ -180,7 +187,9 @@ MajoranaPolynomial
 ShardedMajoranaPreprocessor::finish(double tol)
 {
     flush();
-    return acc_.finish(tol);
+    MajoranaPolynomial poly = acc_.finish(tol);
+    metrics::add("preprocess.majorana_monomials", poly.size());
+    return poly;
 }
 
 } // namespace hatt::io

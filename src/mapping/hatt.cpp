@@ -7,8 +7,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "mapping/hatt_counts.hpp"
 
 namespace hatt {
@@ -127,6 +129,7 @@ buildHattMapping(const MajoranaPolynomial &poly, const HattOptions &options)
             "buildHattMapping: descCache requires vacuumPairing");
 
     Timer timer;
+    trace::Span span("mapping", "hatt_construct");
     const int num_leaves = static_cast<int>(2 * n + 1);
     const int last_leaf = num_leaves - 1; // leaf 2N: never paired
     const size_t max_id = static_cast<size_t>(3 * n + 1);
@@ -418,6 +421,11 @@ buildHattMapping(const MajoranaPolynomial &poly, const HattOptions &options)
     result.mapping = mappingFromTree(
         result.tree, options.vacuumPairing ? "HATT" : "HATT-unopt");
     result.stats.seconds = timer.seconds();
+    // Bulk-added once per construction, never per candidate: the totals
+    // are pinned deterministic by the parity tests.
+    metrics::add("hatt.constructions");
+    metrics::add("hatt.steps", stats.stepWeights.size());
+    metrics::add("hatt.candidates", stats.candidatesEvaluated);
     return result;
 }
 

@@ -6,8 +6,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "mapping/balanced_tree.hpp"
 #include "mapping/bravyi_kitaev.hpp"
 #include "mapping/hatt.hpp"
@@ -425,18 +427,31 @@ MapperRegistry::build(const MappingRequest &req, MappingStore *cache) const
             "mapping '" + mapper->name() +
             "': deadline expired before construction");
 
+    metrics::add("mapping.requests");
+    trace::Span span("mapping", "build:" + mapper->name());
+
     const bool consult_cache = cache && caps.cacheable &&
                                req.contentHash.has_value();
+    double cache_seconds = 0.0;
     if (consult_cache) {
-        if (std::optional<MappingStore::Entry> hit =
-                cache->load(*req.contentHash, mapper->name())) {
+        Timer lookup_timer;
+        std::optional<MappingStore::Entry> hit =
+            cache->load(*req.contentHash, mapper->name());
+        cache_seconds = lookup_timer.seconds();
+        metrics::observe("mapping.cache_lookup_seconds", cache_seconds);
+        if (hit) {
+            metrics::add("mapping.cache_hits");
+            if (hit->candidates)
+                metrics::add("mapping.candidates", *hit->candidates);
             MappingResult out;
             out.mapping = std::move(hit->mapping);
             out.tree = std::move(hit->tree);
             out.metrics.cacheHit = true;
+            out.metrics.cacheSeconds = cache_seconds;
             out.metrics.candidates = hit->candidates;
             return out;
         }
+        metrics::add("mapping.cache_misses");
     }
 
     std::optional<ScopedParallelThreads> thread_scope;
@@ -464,6 +479,10 @@ MapperRegistry::build(const MappingRequest &req, MappingStore *cache) const
     if (!built.ok())
         return built;
     built->metrics.seconds = timer.seconds();
+    built->metrics.cacheSeconds = cache_seconds;
+    metrics::observe("mapping.build_seconds", built->metrics.seconds);
+    if (built->metrics.candidates)
+        metrics::add("mapping.candidates", *built->metrics.candidates);
 
     if (consult_cache) {
         MappingStore::Entry entry;

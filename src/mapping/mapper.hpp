@@ -188,6 +188,13 @@ struct MappingRequest
 struct MappingMetrics
 {
     double seconds = 0.0;    //!< wall clock of the build (0 on cache hit)
+    /**
+     * Wall clock of the MappingStore lookup (hit or miss; 0 when no
+     * store was consulted). Kept apart from `seconds` so a cache hit
+     * reports its real lookup cost instead of silently claiming the
+     * build was free.
+     */
+    double cacheSeconds = 0.0;
     bool cacheHit = false;   //!< result came from a MappingStore
     std::optional<uint64_t> candidates; //!< candidates evaluated (HATT kinds)
 

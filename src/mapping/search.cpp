@@ -7,8 +7,10 @@
 #include <memory>
 #include <numeric>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 
 namespace hatt {
 
@@ -417,6 +419,7 @@ exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes,
     if (n == 0 || n > max_modes)
         return std::nullopt;
     limits.check();
+    trace::Span span("mapping", "exhaustive_search");
     const bool bounded = limits.bounded();
 
     const uint32_t num_leaves = 2 * n + 1;
@@ -499,6 +502,7 @@ exhaustiveTreeSearch(const MajoranaPolynomial &poly, uint32_t max_modes,
     res.mapping = mappingFromAssignment(best_tree, assign, "FH*");
     res.weight = best.weight;
     res.evaluated = best.evaluated;
+    metrics::add("search.candidates", res.evaluated);
     return res;
 }
 
@@ -509,6 +513,7 @@ stochasticTreeSearch(const MajoranaPolynomial &poly, uint32_t restarts,
 {
     const uint32_t n = poly.numModes();
     limits.check();
+    trace::Span span("mapping", "stochastic_search");
     const bool bounded = limits.bounded();
     Rng rng(seed);
     const uint32_t num_leaves = 2 * n + 1;
@@ -587,6 +592,7 @@ stochasticTreeSearch(const MajoranaPolynomial &poly, uint32_t restarts,
     }
     res.weight = best;
     res.evaluated = evaluated;
+    metrics::add("search.candidates", res.evaluated);
     return res;
 }
 

@@ -309,11 +309,20 @@ TEST(Hattc, BatchReportDeterministicAcrossThreadsAndAllHitsWhenWarm)
               warm.at("summary").at("inputs").asInt());
     EXPECT_GT(warm.at("summary").at("inputs").asInt(), 0);
 
-    // The v3 report keys rows "<name>:<mapping>" and carries the
+    // The v4 report keys rows "<name>:<mapping>" and carries the
     // paper's recorded outcomes for the corpus.
     JsonValue doc = JsonValue::parse(report);
     EXPECT_EQ(doc.at("format").asString(), "hatt-batch-report");
-    EXPECT_EQ(doc.at("version").asInt(), 3);
+    EXPECT_EQ(doc.at("version").asInt(), 4);
+    // v4 additions: build provenance + the deterministic workload
+    // mirror (parse./preprocess. counters only, so the byte-compares
+    // above stay valid across threads and cache temperature).
+    EXPECT_FALSE(doc.at("build").at("git_sha").asString().empty());
+    EXPECT_GT(doc.at("metrics")
+                  .at("deterministic")
+                  .at("parse.files")
+                  .asInt(),
+              0);
     EXPECT_EQ(doc.at("summary").at("failed").asInt(), 0);
     bool saw_h2 = false;
     for (const JsonValue &rec : doc.at("inputs").asArray()) {

@@ -281,6 +281,13 @@ TEST(MapperRegistry, CacheableMappersGetStoreCachingForFree)
         MapperRegistry::instance().build(req, &store);
     ASSERT_TRUE(warm.ok());
     EXPECT_TRUE(warm->metrics.cacheHit);
+    // A hit skips construction (seconds stays 0) but must still report
+    // what the lookup itself cost — the cacheSeconds split exists so a
+    // hit cannot claim the mapping was free.
+    EXPECT_EQ(warm->metrics.seconds, 0.0);
+    EXPECT_GT(warm->metrics.cacheSeconds, 0.0);
+    EXPECT_GT(cold->metrics.seconds, 0.0);
+    EXPECT_GE(cold->metrics.cacheSeconds, 0.0);
     EXPECT_EQ(store.saves, 1);
     EXPECT_EQ(stringsHash(warm->mapping), stringsHash(cold->mapping));
     // The determinism witness survives the round trip.
