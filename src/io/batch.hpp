@@ -1,0 +1,116 @@
+#ifndef HATT_IO_BATCH_HPP
+#define HATT_IO_BATCH_HPP
+
+/**
+ * @file
+ * Corpus compilation over a CompilationService: discover (input,
+ * mapping) work items from a directory or manifest, compile them in
+ * parallel over the work pool through the service's shared store stack,
+ * and render the two batch documents. The work-item/result/option
+ * structs live in io/service.hpp (they are part of the service surface:
+ * compileBatch returns them); this header adds the engine that runs
+ * them.
+ *
+ * Corrupt cache entries are soft misses (quarantined by the disk tier),
+ * so a damaged cache file can never abort a batch; a failing input is
+ * reported and the rest of the corpus proceeds.
+ *
+ * Artifacts: every work item compiles into <outDir>/<name>:<mapping>/
+ * exactly as `hattc compile` would. The two batch documents:
+ *
+ *  - batch_report.json ("hatt-batch-report" v4): per-item status
+ *    (ok | error | timeout | degraded | quarantined_cache) and the
+ *    deterministic outcome fields (modes, terms, content hash, qubits,
+ *    pauli weight, candidates), rows keyed "<name>:<mapping>" and
+ *    ordered by (name, mapping, path), plus build provenance and the
+ *    deterministic workload-counter mirror (the parse. and preprocess.
+ *    metrics) — byte-identical for every HATT_THREADS / --jobs value
+ *    and across cold/warm cache runs;
+ *  - batch_stats.json ("hatt-batch-stats" v3): the volatile outcome
+ *    (seconds, cache hits and the tier that served them) in the same
+ *    order, plus the run's full metrics snapshot (deterministic +
+ *    volatile sections).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/service.hpp"
+
+namespace hatt::io {
+
+/**
+ * Split a comma list ("hatt,jw") into kinds.
+ * @throws std::invalid_argument on an empty segment ("hatt,,jw"); the
+ * CLI and manifest parsers translate it into their own error types.
+ */
+std::vector<std::string> splitKinds(const std::string &list);
+
+/**
+ * Resolve @p kind to its canonical registered spelling ("JW" -> "jw"),
+ * so case variants cannot produce distinct batch keys / output dirs /
+ * metric names for the same mapper. Unknown kinds pass through verbatim
+ * for the caller's own diagnostics.
+ */
+std::string canonicalKind(const std::string &kind);
+
+/** The batch engine: discovery + parallel execution + documents. */
+class BatchCompiler
+{
+  public:
+    /** Self-contained form: constructs a private CompilationService
+        from BatchOptions::cacheDir (disk tier) with the memory tier in
+        front of it whenever a cache directory is configured. */
+    explicit BatchCompiler(BatchOptions options);
+
+    /** Service-sharing form: compile through @p service's store stack
+        (borrowed; must outlive this object). BatchOptions::cacheDir is
+        ignored — the service already decided the store topology. */
+    BatchCompiler(BatchOptions options, CompilationService &service);
+
+    ~BatchCompiler();
+
+    BatchCompiler(const BatchCompiler &) = delete;
+    BatchCompiler &operator=(const BatchCompiler &) = delete;
+
+    /**
+     * Build the work list from @p source: a directory is scanned
+     * RECURSIVELY for *.ops / *.fcidump files (optionally narrowed by
+     * BatchOptions::glob); anything else is read as a manifest — one
+     * input path per line, relative to the manifest's directory, with
+     * an optional comma-separated mapping-kind list after the path
+     * ('#' comments and blank lines ignored; kinds are validated
+     * against the MapperRegistry). Every input fans out into one item
+     * per mapping kind. Items are sorted by (name, mapping, path); a
+     * (name, mapping) collision marks the later item as an error at
+     * run() time.
+     * @throws ParseError on an unreadable source or bad manifest line.
+     */
+    std::vector<BatchItem> discoverInputs(const std::string &source) const;
+
+    /** Compile every item; results come back in the items' order. */
+    std::vector<BatchItemResult> run(std::vector<BatchItem> items) const;
+
+    /** The deterministic report document for @p results. */
+    static JsonValue reportDocument(
+        const std::vector<BatchItemResult> &results);
+
+    /** The volatile stats document (timings, cache hits + tiers). */
+    static JsonValue statsDocument(
+        const std::vector<BatchItemResult> &results);
+
+    const BatchOptions &options() const { return options_; }
+
+    /** The service this batch compiles through (owned or borrowed). */
+    CompilationService &service() const { return *service_; }
+
+  private:
+    BatchOptions options_;
+    std::unique_ptr<CompilationService> owned_; //!< legacy ctor only
+    CompilationService *service_;
+};
+
+} // namespace hatt::io
+
+#endif // HATT_IO_BATCH_HPP

@@ -433,6 +433,7 @@ MappingCache::load(uint64_t content_hash, const std::string &kind)
     entry.mapping = std::move(hit->mapping);
     entry.tree = std::move(hit->tree);
     entry.candidates = hit->candidates;
+    entry.tier = "disk";
     return entry;
 }
 

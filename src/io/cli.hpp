@@ -1,0 +1,89 @@
+#ifndef HATT_IO_CLI_HPP
+#define HATT_IO_CLI_HPP
+
+/**
+ * @file
+ * The `hattc` command-line front end: argv parsing, usage/diagnostic
+ * text, and the one Status -> sysexits table. Everything here is a thin
+ * shell over the CompilationService (io/service.hpp) — no compilation
+ * logic lives in this layer, so every compile path is callable from
+ * tests (and a future hattd) without an argv in sight.
+ *
+ * Subcommands:
+ *   map     <input>   mapping (+ tree) JSON, with metrics
+ *   compile <input>   map + qubit Hamiltonian JSON + BENCH-shape metrics
+ *   batch   <dir|manifest>  compile every (input, mapping) work item in
+ *                     parallel, sharing one two-tier mapping store;
+ *                     emits batch_report.json + batch_stats.json
+ *   mappings          list the MapperRegistry (names + capabilities)
+ *   stats   <input>   parse/preprocess summary + content hash (--json
+ *                     adds build info and the run's metrics snapshot)
+ *   verify  <mapping.json>  validity + vacuum-preservation check
+ *   cache gc|list <dir>     cache eviction / index inspection
+ *
+ * Global options: --trace FILE arms the process-wide trace layer
+ * (Chrome trace-event JSON, same as HATT_TRACE=FILE); --version prints
+ * build provenance. See common/trace.hpp and common/metrics.hpp for
+ * the observability layer the driver instruments.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mapping/mapper.hpp"
+
+namespace hatt::io {
+
+/** Failed check (`verify`, `cache list --check`) or failed batch
+    input: the run worked, the verdict is negative. */
+inline constexpr int kExitFailedCheck = 1;
+
+/** EX_USAGE: a bad command line never reaches the service layer, so it
+    has no Status — the usage text and 64 are pure CLI surface. */
+inline constexpr int kExitUsage = 64;
+
+/**
+ * The single Status -> sysexits table (pinned in test_hattc):
+ *
+ *   Ok                            -> 0
+ *   InvalidArgument / NotFound    -> 65 (EX_DATAERR: bad input/request)
+ *   DeadlineExceeded / Cancelled  -> 75 (EX_TEMPFAIL: retry with a
+ *                                        larger --timeout / --fallback)
+ *   AlreadyExists / Internal /
+ *   ResourceExhausted             -> 70 (EX_SOFTWARE: library fault)
+ *
+ * Every service Status and every exception runHattc catches routes
+ * through here (usage errors excepted — they are 64 by definition and
+ * never carry a Status).
+ */
+int exitCodeForStatus(Status::Code code);
+
+/**
+ * Run the driver. @p args excludes the program name (i.e. main passes
+ * {argv + 1, argv + argc}). Normal output goes to @p out, diagnostics
+ * to @p err. @return sysexits-style process exit code:
+ *
+ *   0   success
+ *   1   failed check (verify/--check) or failed batch input
+ *   64  usage error (EX_USAGE: bad command line)
+ *   65  parse/validation failure (EX_DATAERR: malformed or over-cap
+ *       input, bad manifest, unreadable file)
+ *   70  internal error (EX_SOFTWARE: invariant failure, allocation)
+ *   75  deadline expired or cancelled (EX_TEMPFAIL: retry with a
+ *       larger --timeout or --fallback)
+ */
+int runHattc(const std::vector<std::string> &args, std::ostream &out,
+             std::ostream &err);
+
+/**
+ * Canonical mapping kind strings accepted by --mapping: a snapshot of
+ * MapperRegistry::instance().kinds() taken on first use. `hattc
+ * mappings` lists the same registry, so the CLI surface has exactly one
+ * source of truth.
+ */
+const std::vector<std::string> &hattcMappingKinds();
+
+} // namespace hatt::io
+
+#endif // HATT_IO_CLI_HPP

@@ -447,6 +447,7 @@ MapperRegistry::build(const MappingRequest &req, MappingStore *cache) const
             out.mapping = std::move(hit->mapping);
             out.tree = std::move(hit->tree);
             out.metrics.cacheHit = true;
+            out.metrics.cacheTier = hit->tier;
             out.metrics.cacheSeconds = cache_seconds;
             out.metrics.candidates = hit->candidates;
             return out;

@@ -196,6 +196,10 @@ struct MappingMetrics
      */
     double cacheSeconds = 0.0;
     bool cacheHit = false;   //!< result came from a MappingStore
+    /** The store tier that served the hit ("memory", "disk"; empty when
+        !cacheHit or the store doesn't distinguish tiers). cacheSeconds
+        is the lookup cost of exactly this tier's path. */
+    std::string cacheTier;
     std::optional<uint64_t> candidates; //!< candidates evaluated (HATT kinds)
 
     /** Mapper-specific extras (e.g. HATT's "predicted_weight"). */
@@ -261,6 +265,11 @@ class MappingStore
         FermionQubitMapping mapping;
         std::optional<TernaryTree> tree;
         std::optional<uint64_t> candidates;
+
+        /** Which tier served this entry, set by load() implementations
+            ("memory", "disk", ...; empty = unspecified). Transient
+            provenance for metrics — never persisted. */
+        std::string tier;
     };
 
     virtual ~MappingStore() = default;

@@ -26,7 +26,7 @@
 #include "common/fault.hpp"
 #include "common/parallel.hpp"
 #include "io/cache.hpp"
-#include "io/compiler.hpp"
+#include "io/cli.hpp"
 #include "io/json.hpp"
 #include "io/serialize.hpp"
 #include "mapping/mapper.hpp"

@@ -23,7 +23,8 @@
 #include "common/parallel.hpp"
 #include "fermion/majorana.hpp"
 #include "ham/qubit_hamiltonian.hpp"
-#include "io/compiler.hpp"
+#include "io/batch.hpp"
+#include "io/cli.hpp"
 #include "io/fermion_text.hpp"
 #include "io/serialize.hpp"
 #include "mapping/hatt.hpp"
@@ -303,7 +304,7 @@ TEST(Hattc, BatchReportDeterministicAcrossThreadsAndAllHitsWhenWarm)
         io::loadJsonFile((dir / "t1/batch_stats.json").string());
     JsonValue warm =
         io::loadJsonFile((dir / "warm/batch_stats.json").string());
-    EXPECT_EQ(cold.at("version").asInt(), 2);
+    EXPECT_EQ(cold.at("version").asInt(), 3);
     EXPECT_EQ(cold.at("summary").at("cache_hits").asInt(), 0);
     EXPECT_EQ(warm.at("summary").at("cache_hits").asInt(),
               warm.at("summary").at("inputs").asInt());
@@ -1002,6 +1003,23 @@ TEST(Hattc, ReportsUsageAndInputErrors)
     EXPECT_NE(text.find("30 ladder operators"), std::string::npos)
         << text;
     fs::remove_all(dir);
+}
+
+// The single Status -> sysexits table (io/cli.hpp). Pinned: scripts and
+// CI match on these exact codes, so a remap is a breaking change.
+TEST(Hattc, ExitCodeTableIsPinned)
+{
+    using Code = Status::Code;
+    EXPECT_EQ(io::exitCodeForStatus(Code::Ok), 0);
+    EXPECT_EQ(io::exitCodeForStatus(Code::InvalidArgument), 65);
+    EXPECT_EQ(io::exitCodeForStatus(Code::NotFound), 65);
+    EXPECT_EQ(io::exitCodeForStatus(Code::DeadlineExceeded), 75);
+    EXPECT_EQ(io::exitCodeForStatus(Code::Cancelled), 75);
+    EXPECT_EQ(io::exitCodeForStatus(Code::AlreadyExists), 70);
+    EXPECT_EQ(io::exitCodeForStatus(Code::Internal), 70);
+    EXPECT_EQ(io::exitCodeForStatus(Code::ResourceExhausted), 70);
+    EXPECT_EQ(io::kExitFailedCheck, 1);
+    EXPECT_EQ(io::kExitUsage, 64);
 }
 
 } // namespace

@@ -29,7 +29,7 @@
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/trace.hpp"
-#include "io/compiler.hpp"
+#include "io/cli.hpp"
 #include "io/json.hpp"
 #include "io/serialize.hpp"
 

@@ -1,18 +1,19 @@
 /**
  * @file
- * `hattc` — the HATT compiler driver. Thin wrapper over io/compiler so
- * the whole parse -> preprocess -> map -> serialize pipeline — including
- * `hattc batch` (parallel corpus compilation over one shared mapping
- * cache) and `hattc cache gc|list` (cache eviction + index) — is library
- * code covered by the test suite; see `hattc` with no arguments for
- * usage.
+ * `hattc` — the HATT compiler driver. Thin wrapper over io/cli (which
+ * is itself a shell over the CompilationService in io/service) so the
+ * whole parse -> preprocess -> map -> serialize pipeline — including
+ * `hattc batch` (parallel corpus compilation over one shared two-tier
+ * mapping store) and `hattc cache gc|list` (cache eviction + index) —
+ * is library code covered by the test suite; see `hattc` with no
+ * arguments for usage.
  */
 
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "io/compiler.hpp"
+#include "io/cli.hpp"
 
 int
 main(int argc, char **argv)
