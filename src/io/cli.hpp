@@ -44,18 +44,12 @@ inline constexpr int kExitFailedCheck = 1;
 inline constexpr int kExitUsage = 64;
 
 /**
- * The single Status -> sysexits table (pinned in test_hattc):
- *
- *   Ok                            -> 0
- *   InvalidArgument / NotFound    -> 65 (EX_DATAERR: bad input/request)
- *   DeadlineExceeded / Cancelled  -> 75 (EX_TEMPFAIL: retry with a
- *                                        larger --timeout / --fallback)
- *   AlreadyExists / Internal /
- *   ResourceExhausted             -> 70 (EX_SOFTWARE: library fault)
- *
- * Every service Status and every exception runHattc catches routes
- * through here (usage errors excepted — they are 64 by definition and
- * never carry a Status).
+ * The Status -> sysexits mapping. The normative table — codes, wire
+ * spellings, and meanings — is docs/PROTOCOL.md ("Status codes");
+ * this function implements it and test_hattc pins it. Every service
+ * Status and every exception runHattc catches routes through here
+ * (usage errors excepted — they are 64 by definition and never carry
+ * a Status).
  */
 int exitCodeForStatus(Status::Code code);
 

@@ -4,6 +4,7 @@
 
 #include "common/deadline.hpp"
 #include "common/metrics.hpp"
+#include "common/parallel.hpp"
 #include "io/batch.hpp"
 #include "io/cache.hpp"
 #include "io/serialize.hpp"
@@ -62,6 +63,7 @@ compileRequestToJson(const CompileRequest &req)
     doc.add("max_modes", req.maxModes);
     doc.add("timeout_seconds", req.timeoutSeconds);
     doc.add("fallback", req.fallback);
+    doc.add("jobs", req.jobs);
     return doc;
 }
 
@@ -80,6 +82,9 @@ compileRequestFromJson(const JsonValue &doc)
         doc.at("max_modes").asInt(0, UINT32_MAX));
     req.timeoutSeconds = doc.at("timeout_seconds").asNumber();
     req.fallback = doc.at("fallback").asBool();
+    // Added within v1 (optional, default 0): older clients omit it.
+    if (const JsonValue *v = doc.find("jobs"); v && !v->isNull())
+        req.jobs = static_cast<uint32_t>(v->asInt(0, UINT32_MAX));
     return req;
 }
 
@@ -186,6 +191,11 @@ CompilationService::compile(const CompileRequest &req)
     config.limits.maxModes = req.maxModes;
     config.timeoutSeconds = req.timeoutSeconds;
     config.fallback = req.fallback;
+
+    // Admission gate: cap this request's fan-out over the work pool
+    // (0 = inherit). Outputs are cap-invariant by the determinism
+    // contract; only wall clock changes.
+    ScopedParallelThreads jobs_gate(req.jobs);
 
     try {
         CompileOutcome res =

@@ -60,6 +60,11 @@ struct CompileRequest
     uint32_t maxModes = 0;        //!< input mode cap; 0 = default
     double timeoutSeconds = 0.0;  //!< compile budget; 0 = unbounded
     bool fallback = false;        //!< degrade to btt on deadline
+    /** Worker-cap hint: compile under ScopedParallelThreads(jobs) so a
+        transport (hattd) can admit requests without oversubscribing the
+        pool; 0 = inherit the pool configuration. Does not affect
+        outputs — determinism holds for every cap. */
+    uint32_t jobs = 0;
 };
 
 JsonValue compileRequestToJson(const CompileRequest &req);

@@ -1005,8 +1005,10 @@ TEST(Hattc, ReportsUsageAndInputErrors)
     fs::remove_all(dir);
 }
 
-// The single Status -> sysexits table (io/cli.hpp). Pinned: scripts and
-// CI match on these exact codes, so a remap is a breaking change.
+// The Status -> sysexits mapping, normatively tabled in
+// docs/PROTOCOL.md ("Status codes") and implemented by
+// io/cli.hpp's exitCodeForStatus. Pinned: scripts and CI match on
+// these exact codes, so a remap is a breaking change to the doc too.
 TEST(Hattc, ExitCodeTableIsPinned)
 {
     using Code = Status::Code;

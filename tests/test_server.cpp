@@ -1,0 +1,562 @@
+/**
+ * @file
+ * Acceptance tests for the hattd engine (io/server): the daemon's
+ * responses and artifacts are byte-identical to one-shot service calls
+ * for HATT_THREADS ∈ {1, 4} (modulo the volatile fields docs/PROTOCOL.md
+ * names), a repeated request is served from the warm memory tier,
+ * malformed / oversized / mid-frame-disconnect / slow-loris traffic
+ * yields `hatt-status` frames or clean closes with the loop still
+ * serving, newer wire versions are rejected, `out_dir` cannot escape
+ * the server's out root, and the ping/stats/shutdown verbs plus
+ * requestStop() all drain to a clean run() == 0.
+ *
+ * The server runs in-process on a background thread (bind() happens on
+ * the test thread first, so connects never race the listener). The CI
+ * daemon-smoke job covers the real fork/exec + SIGTERM path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "io/json.hpp"
+#include "io/server.hpp"
+#include "io/service.hpp"
+
+namespace hatt {
+namespace {
+
+namespace fs = std::filesystem;
+using io::CompilationService;
+using io::CompileRequest;
+using io::JsonValue;
+using io::Server;
+using io::ServerConfig;
+using io::ServiceConfig;
+
+std::string
+dataFile(const std::string &name)
+{
+    for (const char *prefix :
+         {"../examples/data/", "examples/data/", "../../examples/data/"}) {
+        std::string p = prefix + name;
+        if (std::ifstream(p).good())
+            return p;
+    }
+    ADD_FAILURE() << "cannot locate examples/data/" << name;
+    return name;
+}
+
+fs::path
+scratchDir(const std::string &tag)
+{
+    fs::path dir = fs::temp_directory_path() /
+                   ("hatt_server_test_" + tag + "_" +
+                    std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** The volatile response fields docs/PROTOCOL.md exempts from the
+    byte-identity bar; everything else must match exactly. */
+bool
+isVolatileField(const std::string &key)
+{
+    return key == "seconds" || key == "cache_seconds" ||
+           key == "cache_hit" || key == "cache_tier";
+}
+
+std::string
+stripVolatile(const JsonValue &doc)
+{
+    JsonValue out = JsonValue::object();
+    for (const auto &[key, value] : doc.asObject())
+        if (!isVolatileField(key))
+            out.add(key, value);
+    return out.dump(2);
+}
+
+/** Blocking line-framed test client (the daemon side is the one under
+    test; the client can afford to be simple). */
+class Client
+{
+  public:
+    explicit Client(uint16_t port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd_, 0);
+        timeval tv{10, 0};
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        connected_ = ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                               sizeof addr) == 0;
+        EXPECT_TRUE(connected_);
+    }
+
+    ~Client() { close(); }
+
+    void
+    close()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = -1;
+    }
+
+    void
+    sendRaw(const std::string &bytes)
+    {
+        size_t off = 0;
+        while (off < bytes.size()) {
+            ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+            ASSERT_GT(n, 0);
+            off += static_cast<size_t>(n);
+        }
+    }
+
+    void sendLine(const std::string &line) { sendRaw(line + "\n"); }
+
+    /** One response line, or "" on EOF / receive timeout. */
+    std::string
+    recvLine()
+    {
+        size_t pos;
+        while ((pos = buf_.find('\n')) == std::string::npos) {
+            char tmp[4096];
+            ssize_t n = ::recv(fd_, tmp, sizeof tmp, 0);
+            if (n <= 0)
+                return "";
+            buf_.append(tmp, static_cast<size_t>(n));
+        }
+        std::string line = buf_.substr(0, pos);
+        buf_.erase(0, pos + 1);
+        return line;
+    }
+
+    /** True when the daemon closed the connection (clean EOF). */
+    bool
+    recvEof()
+    {
+        for (;;) {
+            char tmp[4096];
+            ssize_t n = ::recv(fd_, tmp, sizeof tmp, 0);
+            if (n == 0)
+                return true;
+            if (n < 0)
+                return false; // timeout or error, not EOF
+            buf_.append(tmp, static_cast<size_t>(n));
+        }
+    }
+
+    JsonValue
+    rpc(const JsonValue &frame)
+    {
+        sendLine(frame.dump());
+        const std::string reply = recvLine();
+        EXPECT_FALSE(reply.empty()) << "no reply frame";
+        return reply.empty() ? JsonValue() : JsonValue::parse(reply);
+    }
+
+  private:
+    int fd_ = -1;
+    bool connected_ = false;
+    std::string buf_;
+};
+
+/** An in-process daemon: bound on construction, served on a background
+    thread, joined (gracefully when still running) on destruction. */
+struct Daemon
+{
+    Server server;
+    std::thread thread;
+    int rc = -1;
+
+    explicit Daemon(ServerConfig config) : server(std::move(config))
+    {
+        Status bound = server.bind();
+        EXPECT_TRUE(bound.ok()) << bound.message();
+        thread = std::thread([this] { rc = server.run(); });
+    }
+
+    int
+    join()
+    {
+        if (thread.joinable())
+            thread.join();
+        return rc;
+    }
+
+    int
+    stop()
+    {
+        server.requestStop();
+        return join();
+    }
+
+    ~Daemon()
+    {
+        if (thread.joinable()) {
+            server.requestStop();
+            thread.join();
+        }
+    }
+};
+
+JsonValue
+compileFrame(const std::string &input, const std::string &out_dir)
+{
+    CompileRequest req;
+    req.path = input;
+    req.outDir = out_dir;
+    return io::compileRequestToJson(req);
+}
+
+JsonValue
+opFrame(const char *verb)
+{
+    JsonValue doc = JsonValue::object();
+    doc.add("op", verb);
+    return doc;
+}
+
+// ----------------------------------------------------- determinism bar
+
+TEST(Server, ResponsesByteIdenticalToOneShotAcrossThreadCaps)
+{
+    fs::path dir = scratchDir("parity");
+    const std::vector<std::string> inputs = {dataFile("h2.ops"),
+                                             dataFile("hubbard2x2.ops")};
+    std::vector<std::string> per_cap; // concatenated stripped responses
+    for (unsigned threads : {1u, 4u}) {
+        setParallelThreads(threads);
+        const std::string tag = std::to_string(threads);
+
+        ServerConfig config;
+        config.cacheDir = (dir / ("dcache" + tag)).string();
+        config.outRoot = (dir / ("srv" + tag)).string();
+        Daemon daemon(config);
+        Client client(daemon.server.port());
+
+        CompilationService oneshot(
+            ServiceConfig{(dir / ("ccache" + tag)).string(), true});
+
+        std::string stripped_all;
+        for (size_t i = 0; i < inputs.size(); ++i) {
+            const std::string out_dir = "w" + std::to_string(i);
+            JsonValue served = client.rpc(compileFrame(inputs[i], out_dir));
+            ASSERT_EQ(served.at("format").asString(),
+                      "hatt-compile-response")
+                << served.dump(2);
+
+            CompileRequest req;
+            req.path = inputs[i];
+            req.outDir = (dir / ("one" + tag) / out_dir).string();
+            StatusOr<io::CompileResponse> direct = oneshot.compile(req);
+            ASSERT_TRUE(direct.ok()) << direct.status().message();
+
+            // Responses: byte-identical minus the volatile fields.
+            const std::string served_text = stripVolatile(served);
+            EXPECT_EQ(served_text,
+                      stripVolatile(io::compileResponseToJson(
+                          direct.value())));
+            stripped_all += served_text;
+
+            // Artifacts: byte-identical (the .metrics.json sidecar is
+            // volatile by contract and excluded).
+            const std::string stem = served.at("stem").asString();
+            for (const char *suffix :
+                 {".mapping.json", ".tree.json", ".qubit.json"}) {
+                const fs::path daemon_file = fs::path(config.outRoot) /
+                                             out_dir / (stem + suffix);
+                const fs::path oneshot_file =
+                    fs::path(req.outDir) / (stem + suffix);
+                EXPECT_EQ(readFile(daemon_file), readFile(oneshot_file))
+                    << daemon_file;
+            }
+        }
+        per_cap.push_back(stripped_all);
+
+        // Graceful shutdown via the wire verb: ok frame, EOF, rc 0.
+        JsonValue bye = client.rpc(opFrame("shutdown"));
+        EXPECT_TRUE(bye.at("ok").asBool());
+        EXPECT_TRUE(client.recvEof());
+        EXPECT_EQ(daemon.join(), 0);
+    }
+    setParallelThreads(0);
+
+    // ... and the responses are cap-invariant too.
+    ASSERT_EQ(per_cap.size(), 2u);
+    EXPECT_EQ(per_cap[0], per_cap[1]);
+    fs::remove_all(dir);
+}
+
+TEST(Server, SecondIdenticalRequestServedFromMemoryTier)
+{
+    fs::path dir = scratchDir("warm");
+    ServerConfig config;
+    config.outRoot = (dir / "srv").string(); // no disk cache: memory only
+    Daemon daemon(config);
+    Client client(daemon.server.port());
+
+    const JsonValue frame = compileFrame(dataFile("h2.ops"), "w");
+    JsonValue cold = client.rpc(frame);
+    ASSERT_EQ(cold.at("format").asString(), "hatt-compile-response");
+    EXPECT_FALSE(cold.at("cache_hit").asBool());
+
+    JsonValue warm = client.rpc(frame);
+    EXPECT_TRUE(warm.at("cache_hit").asBool());
+    ASSERT_FALSE(warm.at("cache_tier").isNull());
+    EXPECT_EQ(warm.at("cache_tier").asString(), "memory");
+
+    // The warm response is the cold one, volatile fields aside.
+    EXPECT_EQ(stripVolatile(cold), stripVolatile(warm));
+    EXPECT_EQ(daemon.stop(), 0);
+    fs::remove_all(dir);
+}
+
+// ------------------------------------------------- untrusted traffic
+
+TEST(Server, MalformedFramesYieldStatusAndKeepServing)
+{
+    fs::path dir = scratchDir("malformed");
+    ServerConfig config;
+    config.outRoot = (dir / "srv").string();
+    Daemon daemon(config);
+    Client client(daemon.server.port());
+
+    client.sendLine("{ this is not json");
+    JsonValue err = JsonValue::parse(client.recvLine());
+    EXPECT_EQ(err.at("format").asString(), "hatt-status");
+    EXPECT_FALSE(err.at("ok").asBool());
+    EXPECT_EQ(err.at("code").asString(), "invalid_argument");
+
+    client.sendLine("42"); // valid JSON, not an object
+    EXPECT_EQ(JsonValue::parse(client.recvLine()).at("code").asString(),
+              "invalid_argument");
+
+    JsonValue unknown = client.rpc(opFrame("selfdestruct"));
+    EXPECT_EQ(unknown.at("code").asString(), "invalid_argument");
+
+    // The same connection still serves real work.
+    EXPECT_EQ(client.rpc(opFrame("ping")).at("message").asString(),
+              "pong");
+    JsonValue served = client.rpc(compileFrame(dataFile("h2.ops"), "w"));
+    EXPECT_EQ(served.at("format").asString(), "hatt-compile-response");
+    EXPECT_EQ(daemon.stop(), 0);
+    fs::remove_all(dir);
+}
+
+TEST(Server, OversizedFrameGetsStatusThenCloseDaemonKeepsServing)
+{
+    fs::path dir = scratchDir("oversized");
+    ServerConfig config;
+    config.outRoot = (dir / "srv").string();
+    config.maxFrameBytes = 128;
+    Daemon daemon(config);
+
+    {
+        // A complete over-cap line: resource_exhausted, then close.
+        Client client(daemon.server.port());
+        client.sendLine("{\"pad\": \"" + std::string(300, 'x') + "\"}");
+        JsonValue err = JsonValue::parse(client.recvLine());
+        EXPECT_EQ(err.at("code").asString(), "resource_exhausted");
+        EXPECT_TRUE(client.recvEof());
+    }
+    {
+        // An unterminated over-cap frame must not buffer forever: the
+        // reject fires without ever seeing a newline.
+        Client client(daemon.server.port());
+        client.sendRaw(std::string(300, 'y'));
+        JsonValue err = JsonValue::parse(client.recvLine());
+        EXPECT_EQ(err.at("code").asString(), "resource_exhausted");
+        EXPECT_TRUE(client.recvEof());
+    }
+
+    // The daemon shrugged both off.
+    Client fresh(daemon.server.port());
+    EXPECT_EQ(fresh.rpc(opFrame("ping")).at("message").asString(), "pong");
+    EXPECT_EQ(daemon.stop(), 0);
+    fs::remove_all(dir);
+}
+
+TEST(Server, MidFrameDisconnectIsACleanCloseDaemonKeepsServing)
+{
+    fs::path dir = scratchDir("midframe");
+    ServerConfig config;
+    config.outRoot = (dir / "srv").string();
+    Daemon daemon(config);
+
+    {
+        Client client(daemon.server.port());
+        client.sendRaw("{\"format\": \"hatt-compile-req"); // no newline
+        client.close();
+    }
+
+    Client fresh(daemon.server.port());
+    EXPECT_EQ(fresh.rpc(opFrame("ping")).at("message").asString(), "pong");
+    JsonValue served = fresh.rpc(compileFrame(dataFile("h2.ops"), "w"));
+    EXPECT_EQ(served.at("format").asString(), "hatt-compile-response");
+    EXPECT_EQ(daemon.stop(), 0);
+    fs::remove_all(dir);
+}
+
+TEST(Server, SlowLorisPartialFrameTimesOutWithStatus)
+{
+    fs::path dir = scratchDir("loris");
+    ServerConfig config;
+    config.outRoot = (dir / "srv").string();
+    config.frameTimeoutSeconds = 0.15;
+    Daemon daemon(config);
+
+    Client client(daemon.server.port());
+    client.sendRaw("{\"op\": \"pi"); // and then... nothing, forever
+    JsonValue err = JsonValue::parse(client.recvLine());
+    EXPECT_EQ(err.at("format").asString(), "hatt-status");
+    EXPECT_EQ(err.at("code").asString(), "deadline_exceeded");
+    EXPECT_TRUE(client.recvEof());
+
+    Client fresh(daemon.server.port());
+    EXPECT_EQ(fresh.rpc(opFrame("ping")).at("message").asString(), "pong");
+    EXPECT_EQ(daemon.stop(), 0);
+    fs::remove_all(dir);
+}
+
+// ------------------------------------------------- request validation
+
+TEST(Server, NewerWireVersionIsRejectedNotHalfParsed)
+{
+    fs::path dir = scratchDir("version");
+    ServerConfig config;
+    config.outRoot = (dir / "srv").string();
+    Daemon daemon(config);
+    Client client(daemon.server.port());
+
+    std::string text = compileFrame(dataFile("h2.ops"), "w").dump();
+    const size_t at = text.find("\"version\":1");
+    ASSERT_NE(at, std::string::npos) << text;
+    text.replace(at, 11, "\"version\":2");
+    client.sendLine(text);
+    JsonValue err = JsonValue::parse(client.recvLine());
+    EXPECT_EQ(err.at("format").asString(), "hatt-status");
+    EXPECT_EQ(err.at("code").asString(), "invalid_argument");
+
+    EXPECT_EQ(client.rpc(opFrame("ping")).at("message").asString(),
+              "pong");
+    EXPECT_EQ(daemon.stop(), 0);
+    fs::remove_all(dir);
+}
+
+TEST(Server, OutDirCannotEscapeTheOutRoot)
+{
+    fs::path dir = scratchDir("sandbox");
+    ServerConfig config;
+    config.outRoot = (dir / "srv").string();
+    Daemon daemon(config);
+    Client client(daemon.server.port());
+
+    for (const char *escape : {"../evil", "/tmp/evil", "a/../../evil"}) {
+        JsonValue err =
+            client.rpc(compileFrame(dataFile("h2.ops"), escape));
+        EXPECT_EQ(err.at("format").asString(), "hatt-status") << escape;
+        EXPECT_EQ(err.at("code").asString(), "invalid_argument")
+            << escape;
+    }
+
+    // A well-behaved relative out_dir lands beneath the out root.
+    JsonValue served =
+        client.rpc(compileFrame(dataFile("h2.ops"), "nested/run"));
+    ASSERT_EQ(served.at("format").asString(), "hatt-compile-response");
+    EXPECT_TRUE(fs::exists(fs::path(config.outRoot) / "nested/run" /
+                           (served.at("stem").asString() +
+                            ".mapping.json")));
+    EXPECT_EQ(daemon.stop(), 0);
+    fs::remove_all(dir);
+}
+
+TEST(Server, CompileErrorsComeBackAsStatusFrames)
+{
+    fs::path dir = scratchDir("badcompile");
+    ServerConfig config;
+    config.outRoot = (dir / "srv").string();
+    Daemon daemon(config);
+    Client client(daemon.server.port());
+
+    JsonValue err =
+        client.rpc(compileFrame((dir / "no_such_input.ops").string(), "w"));
+    EXPECT_EQ(err.at("format").asString(), "hatt-status");
+    EXPECT_FALSE(err.at("ok").asBool());
+    EXPECT_FALSE(err.at("code").asString().empty());
+
+    EXPECT_EQ(client.rpc(opFrame("ping")).at("message").asString(),
+              "pong");
+    EXPECT_EQ(daemon.stop(), 0);
+    fs::remove_all(dir);
+}
+
+// ----------------------------------------------------- control verbs
+
+TEST(Server, StatsVerbServesTheMetricsSnapshot)
+{
+    fs::path dir = scratchDir("stats");
+    ServerConfig config;
+    config.outRoot = (dir / "srv").string();
+    Daemon daemon(config);
+    Client client(daemon.server.port());
+
+    ASSERT_EQ(client.rpc(opFrame("ping")).at("message").asString(),
+              "pong");
+    JsonValue stats = client.rpc(opFrame("stats"));
+    EXPECT_EQ(stats.at("format").asString(), "hatt-stats");
+    EXPECT_EQ(stats.at("version").asInt(), 1);
+    EXPECT_NE(stats.at("build").find("git_sha"), nullptr);
+    const JsonValue &det = stats.at("metrics").at("deterministic");
+    ASSERT_NE(det.find("server.frames"), nullptr);
+    // ping + this stats frame, at least (metrics are process-global, so
+    // other server-fixture tests in this binary may have added more).
+    EXPECT_GE(det.at("server.frames").asInt(), 2);
+    EXPECT_EQ(daemon.stop(), 0);
+    fs::remove_all(dir);
+}
+
+TEST(Server, RequestStopDrainsToACleanExit)
+{
+    fs::path dir = scratchDir("sigstop");
+    ServerConfig config;
+    config.outRoot = (dir / "srv").string();
+    Daemon daemon(config);
+    Client idle(daemon.server.port()); // an idle connection mustn't pin
+    EXPECT_EQ(idle.rpc(opFrame("ping")).at("message").asString(),
+              "pong"); // ensure it was accepted, not just backlogged
+    EXPECT_EQ(daemon.stop(), 0); // the drain must not wait for it
+    EXPECT_TRUE(idle.recvEof());
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace hatt

@@ -106,6 +106,7 @@ TEST(ServiceWire, CompileRequestJsonRoundTripsWithVersion)
     req.maxModes = 45;
     req.timeoutSeconds = 2.5;
     req.fallback = true;
+    req.jobs = 3;
 
     JsonValue doc = io::compileRequestToJson(req);
     EXPECT_EQ(doc.at("format").asString(), "hatt-compile-request");
@@ -124,6 +125,7 @@ TEST(ServiceWire, CompileRequestJsonRoundTripsWithVersion)
     EXPECT_EQ(back.maxModes, req.maxModes);
     EXPECT_EQ(back.timeoutSeconds, req.timeoutSeconds);
     EXPECT_EQ(back.fallback, req.fallback);
+    EXPECT_EQ(back.jobs, req.jobs);
 
     // Defaults round-trip too (auto format, empty-ish request).
     CompileRequest plain;
@@ -133,6 +135,16 @@ TEST(ServiceWire, CompileRequestJsonRoundTripsWithVersion)
     EXPECT_EQ(plain_back.format, "auto");
     EXPECT_EQ(plain_back.mapping, "hatt");
     EXPECT_TRUE(plain_back.emitQubit);
+    EXPECT_EQ(plain_back.jobs, 0u);
+
+    // `jobs` was added within v1: a frame from an older client that
+    // omits it still parses (the hint defaults to "inherit").
+    JsonValue old_doc = io::compileRequestToJson(plain);
+    JsonValue pruned = JsonValue::object();
+    for (const auto &[key, value] : old_doc.asObject())
+        if (key != "jobs")
+            pruned.add(key, value);
+    EXPECT_EQ(io::compileRequestFromJson(pruned).jobs, 0u);
 
     // A newer wire version must be rejected, not half-parsed.
     std::string text = io::compileRequestToJson(req).dump(2);
