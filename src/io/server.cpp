@@ -272,6 +272,13 @@ Server::serviceInput(Connection &conn)
         ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
         if (n > 0) {
             conn.in.append(buf, static_cast<size_t>(n));
+            // Stop reading once the buffer passes the frame cap:
+            // complete frames are dispatched below and an over-cap
+            // partial is rejected, so one fast peer can neither grow
+            // memory unboundedly nor starve the other connections.
+            // Level-triggered poll re-reports any bytes left behind.
+            if (conn.in.size() > config_.maxFrameBytes)
+                break;
             continue;
         }
         if (n == 0) {
@@ -288,7 +295,7 @@ Server::serviceInput(Connection &conn)
     // Frame and dispatch every complete line. Responses are queued in
     // request order (the protocol's pipelining contract).
     size_t pos;
-    while (!conn.closing &&
+    while (!conn.closing && !draining_ &&
            (pos = conn.in.find('\n')) != std::string::npos) {
         std::string line = conn.in.substr(0, pos);
         conn.in.erase(0, pos + 1);
@@ -308,8 +315,6 @@ Server::serviceInput(Connection &conn)
             break;
         }
         queueFrame(conn, handleFrame(line));
-        if (draining_)
-            break;
     }
 
     // A partial frame already past the cap can never complete: reject
@@ -553,6 +558,10 @@ Server::run()
             fds.push_back({listenFd_, POLLIN, 0});
         }
         const size_t conn_base = fds.size();
+        // Snapshot: connections accepted after poll() returns have no
+        // pollfd slot, so the dispatch loop below must not index past
+        // this count; they join the poll set next iteration.
+        const size_t polled = conns_.size();
         for (const auto &conn : conns_) {
             short events = 0;
             if (!draining_ && !conn->closing)
@@ -594,13 +603,19 @@ Server::run()
         if (listen_slot >= 0 && (fds[listen_slot].revents & POLLIN))
             acceptClients();
 
-        for (size_t i = 0; i < conns_.size(); ++i) {
+        for (size_t i = 0; i < polled; ++i) {
             Connection &conn = *conns_[i];
             const short revents = fds[conn_base + i].revents;
             if (revents == 0)
                 continue;
             bool alive = true;
-            if (revents & (POLLIN | POLLHUP | POLLERR))
+            // No new work once the drain starts or the connection is
+            // closing — poll can still report POLLHUP/POLLERR even
+            // though POLLIN was not requested, and reading would frame
+            // and execute buffered requests. A hung-up peer is caught
+            // by flushOutput (EPIPE) or the drain/close sweep above.
+            if ((revents & (POLLIN | POLLHUP | POLLERR)) && !draining_ &&
+                !conn.closing)
                 alive = serviceInput(conn);
             if (alive && !conn.out.empty())
                 alive = flushOutput(conn);

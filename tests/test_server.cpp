@@ -142,6 +142,22 @@ class Client
 
     void sendLine(const std::string &line) { sendRaw(line + "\n"); }
 
+    /** Like sendRaw, but a mid-stream failure (the daemon hanging up
+        on us) is an expected outcome. @return bytes actually sent. */
+    size_t
+    sendBestEffort(const std::string &bytes)
+    {
+        size_t off = 0;
+        while (off < bytes.size()) {
+            ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+            if (n <= 0)
+                break;
+            off += static_cast<size_t>(n);
+        }
+        return off;
+    }
+
     /** One response line, or "" on EOF / receive timeout. */
     std::string
     recvLine()
@@ -405,6 +421,46 @@ TEST(Server, OversizedFrameGetsStatusThenCloseDaemonKeepsServing)
     fs::remove_all(dir);
 }
 
+TEST(Server, NewlineFreeFloodIsRejectedWithoutBufferingTheStream)
+{
+    fs::path dir = scratchDir("flood");
+    ServerConfig config;
+    config.outRoot = (dir / "srv").string();
+    config.maxFrameBytes = 128;
+    Daemon daemon(config);
+
+    {
+        // A fast peer streaming far more than the cap with no newline:
+        // the daemon must reject and hang up after ~cap bytes, not
+        // drain the stream into memory. Socket buffers are a few MB at
+        // most, so a completed 64 MB send would prove the daemon kept
+        // reading past the cap.
+        Client client(daemon.server.port());
+        const std::string chunk(64 * 1024, 'z');
+        size_t sent = 0;
+        for (int i = 0; i < 1024; ++i) {
+            const size_t n = client.sendBestEffort(chunk);
+            sent += n;
+            if (n < chunk.size())
+                break; // daemon hung up on us, as it should
+        }
+        EXPECT_LT(sent, size_t{64} * 1024 * 1024);
+        // The queued resource_exhausted status may be lost to the RST
+        // from our own unread bytes; what matters is the hangup above
+        // and the daemon still serving below.
+        const std::string reply = client.recvLine();
+        if (!reply.empty()) {
+            EXPECT_EQ(JsonValue::parse(reply).at("code").asString(),
+                      "resource_exhausted");
+        }
+    }
+
+    Client fresh(daemon.server.port());
+    EXPECT_EQ(fresh.rpc(opFrame("ping")).at("message").asString(), "pong");
+    EXPECT_EQ(daemon.stop(), 0);
+    fs::remove_all(dir);
+}
+
 TEST(Server, MidFrameDisconnectIsACleanCloseDaemonKeepsServing)
 {
     fs::path dir = scratchDir("midframe");
@@ -541,6 +597,26 @@ TEST(Server, StatsVerbServesTheMetricsSnapshot)
     // other server-fixture tests in this binary may have added more).
     EXPECT_GE(det.at("server.frames").asInt(), 2);
     EXPECT_EQ(daemon.stop(), 0);
+    fs::remove_all(dir);
+}
+
+TEST(Server, NoWorkIsAdmittedAfterShutdownBegins)
+{
+    fs::path dir = scratchDir("draingate");
+    ServerConfig config;
+    config.outRoot = (dir / "srv").string();
+    Daemon daemon(config);
+    Client client(daemon.server.port());
+
+    // Shutdown with a pipelined request behind it in the same write:
+    // the drain must answer the shutdown and drop the ping — exactly
+    // one reply frame, then EOF.
+    client.sendRaw("{\"op\": \"shutdown\"}\n{\"op\": \"ping\"}\n");
+    JsonValue bye = JsonValue::parse(client.recvLine());
+    EXPECT_TRUE(bye.at("ok").asBool());
+    EXPECT_EQ(bye.at("op").asString(), "shutdown");
+    EXPECT_TRUE(client.recvEof()); // EOF, not a pong
+    EXPECT_EQ(daemon.join(), 0);
     fs::remove_all(dir);
 }
 
