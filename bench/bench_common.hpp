@@ -35,6 +35,9 @@ namespace hatt::bench {
  *
  * Schema: {"benchmark": "...", "records": [{"name": "...",
  * "seconds": w, "pauli_weight": n|null, "candidates": n|null}, ...]}.
+ * Device-aware benchmarks add "cnots"/"depth"/"swaps" to their records
+ * (addRouted); the keys are absent — not null — everywhere else, so
+ * pre-existing BENCH files keep their exact shape.
  */
 class JsonReporter
 {
@@ -54,6 +57,24 @@ class JsonReporter
         r.seconds = seconds;
         r.pauliWeight = pauli_weight;
         r.candidates = candidates;
+        records_.push_back(std::move(r));
+    }
+
+    /** A device-aware record: the routed-cost triple rides along with
+        the usual fields (all three deterministic — the CI trajectory
+        check joins on them just like pauli_weight). */
+    void
+    addRouted(const std::string &name, double seconds,
+              std::optional<uint64_t> pauli_weight, uint64_t cnots,
+              uint64_t depth, uint64_t swaps)
+    {
+        Record r;
+        r.name = name;
+        r.seconds = seconds;
+        r.pauliWeight = pauli_weight;
+        r.cnots = cnots;
+        r.depth = depth;
+        r.swaps = swaps;
         records_.push_back(std::move(r));
     }
 
@@ -90,6 +111,9 @@ class JsonReporter
                 os << *r.candidates;
             else
                 os << "null";
+            if (r.cnots)
+                os << ", \"cnots\": " << *r.cnots << ", \"depth\": "
+                   << *r.depth << ", \"swaps\": " << *r.swaps;
             os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
         }
         os << "  ]\n}\n";
@@ -108,6 +132,9 @@ class JsonReporter
         double seconds = 0.0;
         std::optional<uint64_t> pauliWeight;
         std::optional<uint64_t> candidates;
+        std::optional<uint64_t> cnots; //!< routed (addRouted records)
+        std::optional<uint64_t> depth;
+        std::optional<uint64_t> swaps;
     };
 
     std::string benchmark_;

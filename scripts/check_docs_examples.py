@@ -68,9 +68,11 @@ SCHEMAS = {
             "timeout_seconds": (NUM, False),
             "fallback": (BOOL, False),
         },
-        # Added within v1: older writers omit it (default 0 = inherit).
+        # Added within v1: older writers omit them (jobs default 0 =
+        # inherit; absent device = architecture-agnostic compile).
         "optional": {
             "jobs": (INT, False),
+            "device": (STR, False),
         },
     },
     "hatt-compile-response": {
@@ -95,7 +97,15 @@ SCHEMAS = {
             "seconds": (NUM, False),
             "cache_seconds": (NUM, False),
         },
-        "optional": {},
+        # Added within v1: the device block is emitted only when the
+        # request carried a device (absent = architecture-agnostic).
+        "optional": {
+            "device": (STR, False),
+            "routed_cnots": (INT, True),
+            "routed_u3": (INT, True),
+            "routed_depth": (INT, True),
+            "routed_swaps": (INT, True),
+        },
     },
     "hatt-status": {
         "required": {
@@ -188,6 +198,12 @@ def validate_envelope(doc, errors):
         ch = doc.get("content_hash")
         if isinstance(ch, str) and not re.fullmatch(r"[0-9a-f]{1,16}", ch):
             errors.append(f"content_hash {ch!r} is not lowercase hex")
+        routed = [k for k in doc
+                  if k.startswith("routed_") and k in schema["optional"]]
+        if routed and "device" not in doc:
+            errors.append(
+                "routed_* fields are only emitted alongside 'device' "
+                f"(found {sorted(routed)} without it)")
     if fmt == "hatt-stats":
         build = doc.get("build")
         if isinstance(build, dict):
@@ -344,6 +360,20 @@ def self_check():
     expect(any("unknown field 'swiftness'" in e
                for e in validate_block(json.dumps(extra))),
            "unknown field must fail", failures)
+
+    # A device-aware response must pass, but an orphan routed block
+    # (routed_* without device) must fail the shape check.
+    devresp = dict(GOOD_EXAMPLES["hatt-compile-response"])
+    devresp.update({"device": "montreal", "routed_cnots": 52,
+                    "routed_u3": 59, "routed_depth": 68,
+                    "routed_swaps": 2})
+    errors = validate_block(json.dumps(devresp))
+    expect(errors == [],
+           f"device-aware response must pass (got {errors})", failures)
+    del devresp["device"]
+    expect(any("alongside 'device'" in e
+               for e in validate_block(json.dumps(devresp))),
+           "routed block without device must fail", failures)
 
     # A newer version must fail (newer-version rejection).
     newer = dict(GOOD_EXAMPLES["hatt-compile-request"])

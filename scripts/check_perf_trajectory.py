@@ -9,8 +9,9 @@ Usage:
 For every fresh file, records are joined on their stable "name" field
 against the committed baseline of the same file name (bench/README.md):
 
-  * pauli_weight and candidates are determinism witnesses — any change
-    at equal name is a FAILURE (the algorithms must be bit-stable);
+  * pauli_weight, candidates and the routed-cost triple (cnots, depth,
+    swaps) are determinism witnesses — any change at equal name is a
+    FAILURE (the algorithms must be bit-stable);
   * seconds is the perf trajectory — a record fails when it is both
     slower than ratio * baseline AND above the absolute floor (the floor
     absorbs scheduler noise on sub-100ms records);
@@ -68,7 +69,8 @@ def compare(fresh_path, base_path, ratio, floor):
             failures.append(f"{fresh_path}: record {name!r} disappeared "
                             "(names are a stable contract)")
             continue
-        for field in ("pauli_weight", "candidates"):
+        for field in ("pauli_weight", "candidates", "cnots", "depth",
+                      "swaps"):
             if brec.get(field) != frec.get(field):
                 failures.append(
                     f"{fresh_path}: {name}: {field} changed "
@@ -104,8 +106,13 @@ def list_join(fresh_path, base_path):
             secs = rec.get("seconds")
             secs = f"{secs:.6f}s" if isinstance(secs, (int, float)) \
                 else str(secs)
-            return (f"{secs} w={rec.get('pauli_weight')} "
-                    f"c={rec.get('candidates')}")
+            cell_text = (f"{secs} w={rec.get('pauli_weight')} "
+                         f"c={rec.get('candidates')}")
+            if rec.get("cnots") is not None:
+                cell_text += (f" cnots={rec.get('cnots')} "
+                              f"depth={rec.get('depth')} "
+                              f"swaps={rec.get('swaps')}")
+            return cell_text
 
         print(f"  {name}: fresh {cell(frec)} | base {cell(brec)}")
 

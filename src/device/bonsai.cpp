@@ -1,0 +1,104 @@
+#include "device/bonsai.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace hatt::device {
+
+StatusOr<BonsaiResult>
+growBonsaiTree(uint32_t num_modes, const CouplingMap &device)
+{
+    const std::string device_name =
+        device.name().empty() ? "unnamed" : device.name();
+    if (num_modes == 0)
+        return Status::invalidArgument("bonsai: cannot map zero modes");
+    if (device.numQubits() < num_modes)
+        return Status::invalidArgument(
+            "bonsai: device '" + device_name + "' has " +
+            std::to_string(device.numQubits()) + " qubits, need " +
+            std::to_string(num_modes));
+    if (!device.connected())
+        return Status::invalidArgument(
+            "bonsai: device '" + device_name +
+            "' is disconnected; tree growth needs a connected "
+            "coupling graph");
+
+    // Root: the highest-degree physical qubit, lowest id on ties.
+    int root = 0;
+    size_t best_degree = device.neighbors(0).size();
+    for (uint32_t q = 1; q < device.numQubits(); ++q) {
+        if (device.neighbors(static_cast<int>(q)).size() > best_degree) {
+            best_degree = device.neighbors(static_cast<int>(q)).size();
+            root = static_cast<int>(q);
+        }
+    }
+
+    // BFS growth. Attachment order = logical qubit numbering.
+    std::vector<int> logical_to_physical;
+    logical_to_physical.reserve(num_modes);
+    std::vector<int> logical_of(device.numQubits(), -1);
+    std::vector<std::vector<int>> children(num_modes); // logical ids
+    std::deque<int> frontier; // logical ids with free child slots
+
+    logical_of[root] = 0;
+    logical_to_physical.push_back(root);
+    frontier.push_back(0);
+
+    while (logical_to_physical.size() < num_modes && !frontier.empty()) {
+        const int parent = frontier.front();
+        frontier.pop_front();
+        std::vector<int> nbrs =
+            device.neighbors(logical_to_physical[parent]);
+        std::sort(nbrs.begin(), nbrs.end());
+        for (int phys : nbrs) {
+            if (children[parent].size() == 3 ||
+                logical_to_physical.size() == num_modes)
+                break;
+            if (logical_of[phys] >= 0)
+                continue;
+            const int child =
+                static_cast<int>(logical_to_physical.size());
+            logical_of[phys] = child;
+            logical_to_physical.push_back(phys);
+            children[parent].push_back(child);
+            frontier.push_back(child);
+        }
+    }
+    if (logical_to_physical.size() < num_modes)
+        return Status::invalidArgument(
+            "bonsai: tree growth on device '" + device_name +
+            "' stalled at " + std::to_string(logical_to_physical.size()) +
+            " of " + std::to_string(num_modes) +
+            " modes (ternary branching cannot reach enough qubits)");
+
+    // Materialise the TernaryTree bottom-up: children are attached after
+    // their parent, so reverse attachment order guarantees every internal
+    // child exists (and is parentless) before its parent is added.
+    // Internal children fill slots X, Y, Z in attachment order; the
+    // remaining slots take fresh leaves in ascending leaf-id order.
+    TernaryTree tree(num_modes);
+    std::vector<int> node_of(num_modes, -1); // logical qubit -> node id
+    int next_leaf = 0;
+    for (int q = static_cast<int>(num_modes) - 1; q >= 0; --q) {
+        int slot[3];
+        for (int s = 0; s < 3; ++s) {
+            if (s < static_cast<int>(children[q].size())) {
+                slot[s] = node_of[children[q][s]];
+                assert(slot[s] >= 0);
+            } else {
+                slot[s] = next_leaf++;
+            }
+        }
+        node_of[q] = tree.addInternal(q, slot[0], slot[1], slot[2]);
+    }
+    assert(next_leaf == static_cast<int>(tree.numLeaves()));
+    assert(tree.isCompleteTree());
+
+    BonsaiResult out;
+    out.tree = std::move(tree);
+    out.logicalToPhysical = std::move(logical_to_physical);
+    return out;
+}
+
+} // namespace hatt::device

@@ -1,0 +1,50 @@
+#ifndef HATT_DEVICE_BONSAI_HPP
+#define HATT_DEVICE_BONSAI_HPP
+
+/**
+ * @file
+ * Bonsai ternary-tree growth constrained to a device coupling graph
+ * (Miller et al., arXiv 2212.09731). The tree's internal nodes are
+ * placed on physical qubits and every parent-child tree edge is an
+ * edge of the device graph, so the ternary-tree circuit structure maps
+ * onto the hardware with nearest-neighbour interactions by
+ * construction.
+ *
+ * Growth is deterministic: the root sits on the highest-degree physical
+ * qubit (lowest id on ties) and the tree grows BFS-outward, each node
+ * adopting its unattached physical neighbours in ascending id order,
+ * at most three per node (a ternary node has three child slots). The
+ * attachment order is the logical qubit numbering (root = qubit 0).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/mapper.hpp"
+#include "route/coupling_map.hpp"
+#include "tree/ternary_tree.hpp"
+
+namespace hatt::device {
+
+/** A device-grown ternary tree plus its physical placement. */
+struct BonsaiResult
+{
+    TernaryTree tree;
+    /** logicalToPhysical[q] = the physical qubit hosting internal node
+        q; every tree edge (parent q_a, child q_b) satisfies
+        device.adjacent(logicalToPhysical[q_a], logicalToPhysical[q_b]). */
+    std::vector<int> logicalToPhysical;
+};
+
+/**
+ * Grow the Bonsai tree for @p num_modes modes on @p device.
+ * InvalidArgument (naming the device) when the device is disconnected,
+ * has fewer qubits than modes, or growth stalls because the ternary
+ * branching cannot reach enough qubits (e.g. a star graph).
+ */
+StatusOr<BonsaiResult> growBonsaiTree(uint32_t num_modes,
+                                      const CouplingMap &device);
+
+} // namespace hatt::device
+
+#endif // HATT_DEVICE_BONSAI_HPP

@@ -1,0 +1,117 @@
+#include "device/cost.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "circuit/optimize.hpp"
+#include "circuit/pauli_evolution.hpp"
+#include "circuit/schedule.hpp"
+#include "ham/qubit_hamiltonian.hpp"
+#include "route/router.hpp"
+
+namespace hatt::device {
+
+StatusOr<HardwareCost>
+evaluateHardwareCost(const MajoranaPolynomial &poly,
+                     const FermionQubitMapping &map,
+                     const CouplingMap &device)
+{
+    try {
+        PauliSum hq = mapToQubits(poly, map);
+        PauliSum ordered = scheduleTerms(hq, ScheduleKind::Lexicographic);
+        Circuit c = evolutionCircuit(ordered);
+        optimizeCircuit(c);
+        RoutedCircuit routed = routeCircuit(c, device);
+        optimizeCircuit(routed.circuit);
+        // Every cost this evaluator reports is for a circuit that is
+        // actually executable on the device — a 2q gate on an uncoupled
+        // pair here is a router/optimizer bug, not an input error.
+        if (!respectsCoupling(routed.circuit, device))
+            return Status::internal(
+                std::string("hardware cost on device '") +
+                (device.name().empty() ? "unnamed" : device.name()) +
+                "': routed circuit violates the coupling map");
+        const GateCounts counts = routed.circuit.basisCounts();
+        HardwareCost cost;
+        cost.cnots = counts.cnot;
+        cost.u3 = counts.u3;
+        cost.depth = counts.depth;
+        cost.swaps = routed.swapsInserted;
+        return cost;
+    } catch (const std::invalid_argument &e) {
+        return Status::invalidArgument(
+            std::string("hardware cost on device '") +
+            (device.name().empty() ? "unnamed" : device.name()) + "': " +
+            e.what());
+    }
+}
+
+uint64_t
+estimateRoutedCost(const MajoranaPolynomial &poly,
+                   const FermionQubitMapping &map,
+                   const CouplingMap &device)
+{
+    const PauliSum hq = mapToQubits(poly, map);
+    const uint32_t nl = hq.numQubits();
+    if (nl > device.numQubits())
+        return UINT64_MAX;
+
+    // Interaction multigraph: one two-qubit interaction per adjacent
+    // pair of a term's (sorted) support, the shape the CNOT ladder of
+    // evolutionCircuit produces.
+    std::map<std::pair<int, int>, uint64_t> pair_counts;
+    std::vector<uint64_t> degree(nl, 0);
+    std::vector<int> support;
+    for (const PauliTerm &term : hq.terms()) {
+        support.clear();
+        for (uint32_t q = 0; q < nl; ++q)
+            if (term.string.op(q) != PauliOp::I)
+                support.push_back(static_cast<int>(q));
+        for (size_t i = 0; i + 1 < support.size(); ++i) {
+            ++pair_counts[{support[i], support[i + 1]}];
+            ++degree[support[i]];
+            ++degree[support[i + 1]];
+        }
+    }
+
+    // Greedy embedding, mirroring greedyLayout: busiest logical qubits
+    // land closest to the device's highest-degree physical qubit.
+    std::vector<int> logical_order(nl);
+    std::iota(logical_order.begin(), logical_order.end(), 0);
+    std::stable_sort(logical_order.begin(), logical_order.end(),
+                     [&](int a, int b) { return degree[a] > degree[b]; });
+    int center = 0;
+    size_t best_degree = 0;
+    for (uint32_t q = 0; q < device.numQubits(); ++q) {
+        if (device.neighbors(static_cast<int>(q)).size() > best_degree) {
+            best_degree = device.neighbors(static_cast<int>(q)).size();
+            center = static_cast<int>(q);
+        }
+    }
+    std::vector<int> physical_order(device.numQubits());
+    std::iota(physical_order.begin(), physical_order.end(), 0);
+    std::stable_sort(physical_order.begin(), physical_order.end(),
+                     [&](int a, int b) {
+                         return device.distance(center, a) <
+                                device.distance(center, b);
+                     });
+    std::vector<int> layout(nl, -1);
+    for (uint32_t i = 0; i < nl; ++i)
+        layout[logical_order[i]] = physical_order[i];
+
+    // Each interaction at hop distance d costs ~3*(d-1) SWAP CNOTs
+    // plus the entangling CNOT itself.
+    uint64_t cost = 0;
+    for (const auto &[pair, count] : pair_counts) {
+        const int d = device.distance(layout[pair.first],
+                                      layout[pair.second]);
+        cost += count * (3ull * static_cast<uint64_t>(d - 1) + 1ull);
+    }
+    return cost;
+}
+
+} // namespace hatt::device

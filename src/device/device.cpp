@@ -1,0 +1,146 @@
+#include "device/device.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace hatt::device {
+
+namespace {
+
+/** Parametric qubit-count ceiling: keeps a typo'd "line:999999999" from
+    allocating a gigabyte of distance matrix. */
+constexpr uint32_t kMaxParametricQubits = 4096;
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+Status
+unknownDevice(const std::string &name)
+{
+    std::ostringstream ss;
+    ss << "unknown device '" << name << "' (known:";
+    for (const DeviceInfo &d : builtinDevices())
+        ss << " " << d.name;
+    for (const std::string &f : parametricFamilies())
+        ss << " " << f;
+    ss << ")";
+    return Status::invalidArgument(ss.str());
+}
+
+/** Strict decimal parse of a parametric parameter; 0 on junk. */
+uint32_t
+parseParam(const std::string &text)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos ||
+        text.size() > 9)
+        return 0;
+    return static_cast<uint32_t>(std::strtoul(text.c_str(), nullptr, 10));
+}
+
+Status
+checkParametricSize(const std::string &name, uint64_t qubits)
+{
+    if (qubits == 0 || qubits > kMaxParametricQubits)
+        return Status::invalidArgument(
+            "device '" + name + "': qubit count must be in [1, " +
+            std::to_string(kMaxParametricQubits) + "]");
+    return Status();
+}
+
+} // namespace
+
+StatusOr<std::string>
+canonicalDeviceName(const std::string &name)
+{
+    StatusOr<CouplingMap> resolved = resolveDevice(name);
+    if (!resolved.ok())
+        return resolved.status();
+    return lowered(name);
+}
+
+StatusOr<CouplingMap>
+resolveDevice(const std::string &name)
+{
+    const std::string key = lowered(name);
+    if (key == "montreal")
+        return CouplingMap::ibmMontreal();
+    if (key == "manhattan")
+        return CouplingMap::ibmManhattan();
+    if (key == "sycamore")
+        return CouplingMap::sycamore();
+
+    const size_t colon = key.find(':');
+    if (colon == std::string::npos)
+        return unknownDevice(name);
+    const std::string family = key.substr(0, colon);
+    const std::string params = key.substr(colon + 1);
+
+    if (family == "line") {
+        const uint32_t n = parseParam(params);
+        if (Status s = checkParametricSize(key, n); !s.ok())
+            return s;
+        return CouplingMap::line(n);
+    }
+    if (family == "grid") {
+        const size_t x = params.find('x');
+        if (x == std::string::npos)
+            return Status::invalidArgument(
+                "device '" + name +
+                "': grid takes <width>x<height>, e.g. grid:3x3");
+        const uint32_t w = parseParam(params.substr(0, x));
+        const uint32_t h = parseParam(params.substr(x + 1));
+        if (w == 0 || h == 0)
+            return Status::invalidArgument(
+                "device '" + name +
+                "': grid takes <width>x<height>, e.g. grid:3x3");
+        if (Status s = checkParametricSize(
+                key, static_cast<uint64_t>(w) * h);
+            !s.ok())
+            return s;
+        return CouplingMap::grid(w, h);
+    }
+    if (family == "all-to-all") {
+        const uint32_t n = parseParam(params);
+        if (Status s = checkParametricSize(key, n); !s.ok())
+            return s;
+        return CouplingMap::allToAll(n);
+    }
+    return unknownDevice(name);
+}
+
+std::vector<DeviceInfo>
+builtinDevices()
+{
+    // Edge counts come from the factories so a lattice edit can never
+    // desynchronise this listing.
+    std::vector<DeviceInfo> out;
+    const CouplingMap montreal = CouplingMap::ibmMontreal();
+    const CouplingMap manhattan = CouplingMap::ibmManhattan();
+    const CouplingMap sycamore = CouplingMap::sycamore();
+    out.push_back({"manhattan", manhattan.numQubits(),
+                   static_cast<uint32_t>(manhattan.edges().size()),
+                   "heavy-hex"});
+    out.push_back({"montreal", montreal.numQubits(),
+                   static_cast<uint32_t>(montreal.edges().size()),
+                   "heavy-hex"});
+    out.push_back({"sycamore", sycamore.numQubits(),
+                   static_cast<uint32_t>(sycamore.edges().size()),
+                   "diagonal-grid"});
+    return out;
+}
+
+std::vector<std::string>
+parametricFamilies()
+{
+    return {"line:<n>", "grid:<w>x<h>", "all-to-all:<n>"};
+}
+
+} // namespace hatt::device

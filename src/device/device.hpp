@@ -1,0 +1,68 @@
+#ifndef HATT_DEVICE_DEVICE_HPP
+#define HATT_DEVICE_DEVICE_HPP
+
+/**
+ * @file
+ * The device registry: the one place a device *name* becomes a
+ * CouplingMap. Three built-ins (the Table IV targets) plus three
+ * parametric families:
+ *
+ *   montreal            27-qubit IBM Falcon heavy-hex
+ *   manhattan           65-qubit IBM Hummingbird heavy-hex
+ *   sycamore            54-qubit Google diagonal grid
+ *   line:<n>            1D nearest-neighbour chain
+ *   grid:<w>x<h>        rectangular nearest-neighbour grid
+ *   all-to-all:<n>      fully connected (trapped-ion style)
+ *
+ * Names are case-insensitive; canonicalDeviceName() returns the
+ * lowercase spelling every layer stores (CLI options, wire frames,
+ * MappingRequest option bags — so the cache key is spelling-invariant).
+ * Unknown names come back as Status::InvalidArgument listing every
+ * valid device, the one diagnostic hattc/hattd surface verbatim.
+ *
+ * The built-in edge lists are topology-family reconstructions, not
+ * bit-for-bit captures of retired hardware — see docs/DESIGN.md
+ * ("Device edge-list substitutions") for what is and is not guaranteed.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapping/mapper.hpp"
+#include "route/coupling_map.hpp"
+
+namespace hatt::device {
+
+/** One row of `hattc devices`: a resolvable built-in device. */
+struct DeviceInfo
+{
+    std::string name;    //!< canonical lowercase name
+    uint32_t qubits = 0;
+    uint32_t edges = 0;
+    std::string family;  //!< "heavy-hex", "diagonal-grid", ...
+};
+
+/**
+ * Canonical lowercase spelling of @p name, validating it resolves
+ * (including parametric parameter parsing and size caps).
+ * InvalidArgument naming every valid device and family otherwise.
+ */
+StatusOr<std::string> canonicalDeviceName(const std::string &name);
+
+/**
+ * Resolve @p name to its coupling map. Accepts any case; parametric
+ * families parse their parameters strictly (decimal digits, 1 to 4096
+ * qubits). InvalidArgument with the full device list on failure.
+ */
+StatusOr<CouplingMap> resolveDevice(const std::string &name);
+
+/** The fixed built-in devices, sorted by name (for `hattc devices`). */
+std::vector<DeviceInfo> builtinDevices();
+
+/** The parametric family spellings, for diagnostics and listings. */
+std::vector<std::string> parametricFamilies();
+
+} // namespace hatt::device
+
+#endif // HATT_DEVICE_DEVICE_HPP

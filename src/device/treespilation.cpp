@@ -1,0 +1,112 @@
+#include "device/treespilation.hpp"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "device/bonsai.hpp"
+#include "device/cost.hpp"
+#include "mapping/balanced_tree.hpp"
+#include "mapping/hatt.hpp"
+
+namespace hatt::device {
+
+FermionQubitMapping
+vacuumPairedMappingFromTree(const TernaryTree &tree, std::string name)
+{
+    const uint32_t num_modes = tree.numModes();
+    const std::vector<PauliString> strings = tree.extractStrings();
+    const std::vector<int> assignment = vacuumPairingAssignment(tree);
+    FermionQubitMapping map;
+    map.numModes = num_modes;
+    map.numQubits = num_modes;
+    map.name = std::move(name);
+    map.majorana.reserve(2 * num_modes);
+    for (uint32_t i = 0; i < 2 * num_modes; ++i) {
+        assert(assignment[i] >= 0);
+        map.majorana.emplace_back(cplx{1.0, 0.0}, strings[assignment[i]]);
+    }
+    return map;
+}
+
+StatusOr<TreespilationResult>
+buildTreespilationMapping(const MajoranaPolynomial &poly,
+                          const CouplingMap &device,
+                          const RunLimits &limits)
+{
+    const std::string device_name =
+        device.name().empty() ? "unnamed" : device.name();
+    const uint32_t num_modes = poly.numModes();
+    if (device.numQubits() < num_modes)
+        return Status::invalidArgument(
+            "treespilation: device '" + device_name + "' has " +
+            std::to_string(device.numQubits()) + " qubits, need " +
+            std::to_string(num_modes));
+    if (!device.connected())
+        return Status::invalidArgument(
+            "treespilation: device '" + device_name +
+            "' is disconnected; routing-cost scoring needs a connected "
+            "coupling graph");
+
+    struct Candidate
+    {
+        std::string label;
+        TernaryTree tree;
+        FermionQubitMapping mapping;
+    };
+    std::vector<Candidate> candidates;
+
+    // Fixed candidate order = the deterministic tie-break order. Each
+    // candidate keeps its construction's own (vacuum-preserving) leaf
+    // assembly — HATT in particular pairs leaves during construction,
+    // and re-deriving the pairing from the bare tree loses that.
+    {
+        HattOptions hopt;
+        hopt.vacuumPairing = true;
+        hopt.descCache = true;
+        hopt.limits = limits;
+        HattResult hatt = buildHattMapping(poly, hopt);
+        candidates.push_back(
+            {"hatt", std::move(hatt.tree), std::move(hatt.mapping)});
+    }
+    if (StatusOr<BonsaiResult> bonsai = growBonsaiTree(num_modes, device);
+        bonsai.ok()) {
+        FermionQubitMapping map =
+            vacuumPairedMappingFromTree(bonsai->tree, "Treespilation");
+        candidates.push_back(
+            {"bonsai", std::move(bonsai->tree), std::move(map)});
+    }
+    candidates.push_back(
+        {"btt", TernaryTree::balanced(num_modes),
+         balancedTernaryTreeMapping(num_modes, BttAssignment::Paired)});
+
+    TreespilationResult out;
+    uint64_t best_cost = UINT64_MAX;
+    for (Candidate &cand : candidates) {
+        limits.check();
+        FermionQubitMapping map = std::move(cand.mapping);
+        map.name = "Treespilation";
+        // Score by the real routed pipeline: the tournament then picks
+        // the candidate that actually wins on hardware CNOTs, not the
+        // one a proxy guesses will. The cheap interaction-graph estimate
+        // only steps in if routing itself rejects the candidate.
+        uint64_t cost;
+        if (StatusOr<HardwareCost> hw =
+                evaluateHardwareCost(poly, map, device);
+            hw.ok())
+            cost = hw->cnots;
+        else
+            cost = estimateRoutedCost(poly, map, device);
+        ++out.candidatesEvaluated;
+        if (cost < best_cost) {
+            best_cost = cost;
+            out.mapping = std::move(map);
+            out.tree = std::move(cand.tree);
+            out.chosen = cand.label;
+        }
+    }
+    out.estimatedCost = best_cost;
+    return out;
+}
+
+} // namespace hatt::device

@@ -235,6 +235,7 @@ BatchCompiler::run(std::vector<BatchItem> items) const
     config.limits = options_.limits;
     config.timeoutSeconds = options_.timeoutSeconds;
     config.fallback = options_.fallback;
+    config.device = options_.device;
 
     // One work item per chunk: items are the coarse parallel grain, and
     // each item's own stages (sharded preprocessing, candidate scans,
@@ -266,6 +267,13 @@ BatchCompiler::run(std::vector<BatchItem> items) const
             r.numQubits = res.built.mapping.numQubits;
             r.pauliWeight = res.qubitMetrics->pauliWeight;
             r.candidates = res.built.metrics.candidates;
+            if (res.hardwareCost) {
+                r.device = config.device;
+                r.routedCnots = res.hardwareCost->cnots;
+                r.routedU3 = res.hardwareCost->u3;
+                r.routedDepth = res.hardwareCost->depth;
+                r.routedSwaps = res.hardwareCost->swaps;
+            }
             r.cacheHit = res.built.metrics.cacheHit;
             r.cacheTier = res.built.metrics.cacheTier;
             r.degraded = res.degraded;
@@ -348,6 +356,23 @@ BatchCompiler::reportDocument(const std::vector<BatchItemResult> &results)
         rec.add("pauli_weight", r.pauliWeight);
         rec.add("candidates", r.candidates ? JsonValue(*r.candidates)
                                            : JsonValue(nullptr));
+        // Device-aware batches only: the routed-cost block is part of
+        // the deterministic report (byte-compared across thread caps),
+        // and its absence keeps architecture-agnostic reports
+        // byte-identical to earlier versions.
+        if (!r.device.empty()) {
+            rec.add("device", r.device);
+            rec.add("routed_cnots", r.routedCnots ? JsonValue(*r.routedCnots)
+                                                  : JsonValue(nullptr));
+            rec.add("routed_u3", r.routedU3 ? JsonValue(*r.routedU3)
+                                            : JsonValue(nullptr));
+            rec.add("routed_depth", r.routedDepth
+                                        ? JsonValue(*r.routedDepth)
+                                        : JsonValue(nullptr));
+            rec.add("routed_swaps", r.routedSwaps
+                                        ? JsonValue(*r.routedSwaps)
+                                        : JsonValue(nullptr));
+        }
         inputs.push(std::move(rec));
     }
     doc.add("inputs", std::move(inputs));

@@ -11,6 +11,7 @@
 #include "common/deadline.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "device/device.hpp"
 #include "io/batch.hpp"
 #include "io/cache.hpp"
 #include "io/driver.hpp"
@@ -35,6 +36,9 @@ const char *kUsage =
     "                          emits batch_report.json + batch_stats.json\n"
     "  mappings                list registered mapping kinds and their\n"
     "                          capabilities (--json for machine use)\n"
+    "  devices                 list resolvable target devices and the\n"
+    "                          parametric families (--json for machine\n"
+    "                          use)\n"
     "  stats   <input>         parse/preprocess summary + content hash\n"
     "                          (--json adds the run's metrics snapshot)\n"
     "  verify  <mapping.json>  check mapping validity + vacuum\n"
@@ -61,6 +65,10 @@ const char *kUsage =
     "  --max-modes N    reject inputs declaring/using more than N modes\n"
     "\n"
     "options (map/compile/batch):\n"
+    "  --device NAME    target device (see `hattc devices`): routes the\n"
+    "                   compiled circuit onto its coupling map and\n"
+    "                   reports CNOT/depth/SWAP cost; device-aware\n"
+    "                   mappings (bonsai, treespilation) require it\n"
     "  --timeout SEC    per-item compile budget in seconds; on expiry\n"
     "                   exit 75 (batch: the item reports 'timeout')\n"
     "  --fallback       on a construction deadline, degrade to the\n"
@@ -97,6 +105,7 @@ struct Options
     std::string mapping = "hatt"; //!< batch: may be a comma list
     std::string outDir = "out";
     std::string cacheDir; //!< empty = no cache
+    std::string device;   //!< canonical device name; empty = agnostic
     std::string glob;     //!< batch directory-discovery filter
     InputFormat format = InputFormat::Auto;
     unsigned jobs = 0;    //!< batch worker cap; 0 = pool default
@@ -177,8 +186,8 @@ parseArgs(const std::vector<std::string> &args_in)
     opt.command = args[0];
     if (opt.command != "map" && opt.command != "compile" &&
         opt.command != "batch" && opt.command != "mappings" &&
-        opt.command != "stats" && opt.command != "verify" &&
-        opt.command != "cache")
+        opt.command != "devices" && opt.command != "stats" &&
+        opt.command != "verify" && opt.command != "cache")
         throw UsageError("unknown command '" + opt.command + "'");
 
     auto value = [&](size_t &i) -> const std::string & {
@@ -204,6 +213,17 @@ parseArgs(const std::vector<std::string> &args_in)
             opt.outDir = value(i);
         } else if (a == "--cache") {
             opt.cacheDir = value(i);
+        } else if (a == "--device") {
+            // Validate + canonicalise now: a typo'd device is a command
+            // line mistake (exit 64 with the valid names), not a
+            // compile-time failure, and the canonical spelling is what
+            // feeds cache keys and reports.
+            const std::string &name = value(i);
+            StatusOr<std::string> canonical =
+                device::canonicalDeviceName(name);
+            if (!canonical.ok())
+                throw UsageError(canonical.status().message());
+            opt.device = canonical.value();
         } else if (a == "--glob") {
             if (opt.command != "batch")
                 throw UsageError("--glob only applies to batch");
@@ -244,9 +264,10 @@ parseArgs(const std::vector<std::string> &args_in)
                 throw UsageError("--max-modes needs at least 1 mode");
             opt.limits.maxModes = static_cast<uint32_t>(n);
         } else if (a == "--json") {
-            if (opt.command != "mappings" && opt.command != "stats")
-                throw UsageError("--json only applies to mappings and "
-                                 "stats");
+            if (opt.command != "mappings" && opt.command != "devices" &&
+                opt.command != "stats")
+                throw UsageError("--json only applies to mappings, "
+                                 "devices and stats");
             opt.json = true;
         } else if (a == "--require-vacuum") {
             if (opt.command != "verify")
@@ -282,6 +303,8 @@ parseArgs(const std::vector<std::string> &args_in)
         (!parses_input || opt.command == "stats"))
         throw UsageError("--timeout/--fallback only apply to "
                          "map/compile/batch");
+    if (!opt.device.empty() && (!parses_input || opt.command == "stats"))
+        throw UsageError("--device only applies to map/compile/batch");
     if (opt.command == "cache") {
         if (opt.cacheCommand != "gc" && opt.cacheCommand != "list")
             throw UsageError("cache needs a subcommand: gc | list");
@@ -298,9 +321,9 @@ parseArgs(const std::vector<std::string> &args_in)
     if (opt.maxBytes || opt.maxAge || opt.check)
         throw UsageError("--max-bytes/--max-age/--check only apply to "
                          "the cache command");
-    if (opt.command == "mappings") {
+    if (opt.command == "mappings" || opt.command == "devices") {
         if (!opt.input.empty())
-            throw UsageError("mappings takes no arguments");
+            throw UsageError(opt.command + " takes no arguments");
         return opt;
     }
     if (opt.input.empty())
@@ -327,8 +350,17 @@ parseArgs(const std::vector<std::string> &args_in)
     opt.mapping.clear();
     for (const std::string &kind : kinds) {
         check_kind(kind);
-        opt.mapping += (opt.mapping.empty() ? "" : ",") +
-                       canonicalKind(kind);
+        const std::string canonical = canonicalKind(kind);
+        // A device-aware kind cannot build without a target: catch it
+        // as the command-line mistake it is (64) instead of letting the
+        // mapper reject the request downstream (65).
+        const Mapper *mapper = MapperRegistry::instance().find(canonical);
+        if (mapper && mapper->capabilities().deviceAware &&
+            opt.device.empty() && opt.command != "stats")
+            throw UsageError("--mapping " + canonical +
+                             " is device-aware and needs --device "
+                             "(see `hattc devices`)");
+        opt.mapping += (opt.mapping.empty() ? "" : ",") + canonical;
     }
     return opt;
 }
@@ -373,6 +405,7 @@ cmdMapOrCompile(const Options &opt, std::ostream &out, std::ostream &err)
     req.maxModes = opt.limits.maxModes;
     req.timeoutSeconds = opt.timeoutSeconds;
     req.fallback = opt.fallback;
+    req.device = opt.device;
 
     StatusOr<CompileResponse> result = service.compile(req);
     if (!result.ok()) {
@@ -395,6 +428,12 @@ cmdMapOrCompile(const Options &opt, std::ostream &out, std::ostream &err)
         out << "qubit H:      " << *res.qubitTerms
             << " non-identity terms, pauli weight " << *res.pauliWeight
             << ", max |Im coeff| " << *res.maxImagCoeff << "\n";
+    if (!res.device.empty())
+        out << "device:       " << res.device << " -> "
+            << (res.routedCnots ? *res.routedCnots : 0) << " CNOTs, depth "
+            << (res.routedDepth ? *res.routedDepth : 0) << ", "
+            << (res.routedSwaps ? *res.routedSwaps : 0)
+            << " SWAPs inserted\n";
     out << "wrote:        "
         << (fs::path(opt.outDir) / (res.stem + ".*.json")).string()
         << " (" << res.seconds << " s)\n";
@@ -416,6 +455,7 @@ cmdBatch(const Options &opt, std::ostream &out, std::ostream &err)
     bopt.limits = opt.limits;
     bopt.timeoutSeconds = opt.timeoutSeconds;
     bopt.fallback = opt.fallback;
+    bopt.device = opt.device;
 
     StatusOr<BatchOutcome> outcome =
         service.compileBatch(opt.input, bopt);
@@ -475,6 +515,7 @@ cmdMappings(const Options &opt, std::ostream &out)
             rec.add("cacheable", caps.cacheable);
             rec.add("produces_tree", caps.producesTree);
             rec.add("vacuum_preserving", caps.vacuumPreserving);
+            rec.add("device_aware", caps.deviceAware);
             rec.add("summary", caps.summary);
             arr.push(std::move(rec));
         }
@@ -493,8 +534,42 @@ cmdMappings(const Options &opt, std::ostream &out)
             << (caps.cacheable ? ", cacheable" : "")
             << (caps.producesTree ? ", produces tree" : "")
             << (caps.vacuumPreserving ? ", vacuum-preserving" : "")
+            << (caps.deviceAware ? ", device-aware" : "")
             << "\n";
     }
+    return 0;
+}
+
+int
+cmdDevices(const Options &opt, std::ostream &out)
+{
+    const std::vector<device::DeviceInfo> devices =
+        device::builtinDevices();
+    if (opt.json) {
+        JsonValue arr = JsonValue::array();
+        for (const device::DeviceInfo &d : devices) {
+            JsonValue rec = JsonValue::object();
+            rec.add("name", d.name);
+            rec.add("qubits", static_cast<uint64_t>(d.qubits));
+            rec.add("edges", static_cast<uint64_t>(d.edges));
+            rec.add("family", d.family);
+            arr.push(std::move(rec));
+        }
+        JsonValue fams = JsonValue::array();
+        for (const std::string &f : device::parametricFamilies())
+            fams.push(JsonValue(f));
+        JsonValue doc = JsonValue::object();
+        doc.add("devices", std::move(arr));
+        doc.add("parametric_families", std::move(fams));
+        out << doc.dump(2) << "\n";
+        return 0;
+    }
+    for (const device::DeviceInfo &d : devices)
+        out << d.name << "\n    " << d.qubits << " qubits, " << d.edges
+            << " coupling edges (" << d.family << ")\n";
+    out << "parametric families:\n";
+    for (const std::string &f : device::parametricFamilies())
+        out << "    " << f << "\n";
     return 0;
 }
 
@@ -720,6 +795,8 @@ runHattc(const std::vector<std::string> &args, std::ostream &out,
             return cmdBatch(opt, out, err);
         if (opt.command == "mappings")
             return cmdMappings(opt, out);
+        if (opt.command == "devices")
+            return cmdDevices(opt, out);
         if (opt.command == "cache")
             return cmdCache(opt, out);
         return cmdMapOrCompile(opt, out, err);

@@ -7,6 +7,7 @@
 #include "common/buildinfo.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
+#include "device/device.hpp"
 #include "io/fcidump.hpp"
 #include "io/fermion_text.hpp"
 #include "io/serialize.hpp"
@@ -121,13 +122,19 @@ loadProblem(const std::string &path, InputFormat format,
 
 MappingResult
 buildRequestedMapping(const std::string &kind, const LoadedProblem &problem,
-                      MappingStore *store, const RunLimits &limits)
+                      MappingStore *store, const RunLimits &limits,
+                      const std::string &device)
 {
     MappingRequest req;
     req.kind = kind;
     req.poly = &problem.poly;
     req.contentHash = problem.contentHash;
     req.limits = limits;
+    if (!device.empty()) {
+        const Mapper *mapper = MapperRegistry::instance().find(kind);
+        if (mapper && mapper->capabilities().deviceAware)
+            req.options["device"] = device;
+    }
     StatusOr<MappingResult> built =
         MapperRegistry::instance().build(req, store);
     if (!built.ok()) {
@@ -237,13 +244,31 @@ compileInput(const std::string &path, InputFormat format,
     if (config.timeoutSeconds > 0.0)
         run.deadline = Deadline::after(config.timeoutSeconds);
     try {
-        res.built = buildRequestedMapping(kind, res.problem, store, run);
+        res.built = buildRequestedMapping(kind, res.problem, store, run,
+                                          config.device);
     } catch (const DeadlineError &) {
         if (!config.fallback)
             throw;
+        // The fallback kind is device-independent by design, so no
+        // device option is threaded through.
         res.built =
             buildRequestedMapping("btt", res.problem, store, RunLimits{});
         res.degraded = true;
+    }
+
+    if (!config.device.empty()) {
+        // Routed hardware cost of whatever was built (any kind) on the
+        // requested device — the Table IV metric, surfaced per compile.
+        StatusOr<CouplingMap> dev = device::resolveDevice(config.device);
+        if (!dev.ok())
+            throw ParseError(dev.status().message());
+        trace::Span route_span("driver", "route");
+        metrics::ScopedTimer route_timer("route.seconds");
+        StatusOr<device::HardwareCost> cost = device::evaluateHardwareCost(
+            res.problem.poly, res.built.mapping, dev.value());
+        if (!cost.ok())
+            throw ParseError(cost.status().message());
+        res.hardwareCost = cost.value();
     }
 
     ensureOutDir(out_dir);

@@ -24,6 +24,7 @@
 
 #include "common/deadline.hpp"
 #include "common/metrics.hpp"
+#include "device/cost.hpp"
 #include "fermion/majorana.hpp"
 #include "ham/qubit_hamiltonian.hpp"
 #include "io/json.hpp"
@@ -92,11 +93,17 @@ struct InternalError : std::runtime_error
  * DeadlineExceeded/Cancelled -> DeadlineError (75), Internal/
  * ResourceExhausted -> InternalError (70), everything else (unknown
  * kind, bad request, over-ceiling input) -> ParseError (65).
+ *
+ * @p device (canonical DeviceRegistry name, may be empty) becomes the
+ * request's "device" option — but only when the mapper declares the
+ * deviceAware capability, so device-independent kinds (jw, btt, ...)
+ * keep device-independent cache keys under `--device`.
  */
 MappingResult buildRequestedMapping(const std::string &kind,
                                     const LoadedProblem &problem,
                                     MappingStore *store,
-                                    const RunLimits &limits);
+                                    const RunLimits &limits,
+                                    const std::string &device = "");
 
 /** Budget/guard knobs shared by every compile entry point. */
 struct CompileConfig
@@ -104,6 +111,10 @@ struct CompileConfig
     ParseLimits limits;
     double timeoutSeconds = 0.0; //!< 0 = unbounded
     bool fallback = false;       //!< degrade to btt on deadline
+    /** Canonical device name; empty = architecture-agnostic compile.
+        When set, the outcome carries the routed HardwareCost of the
+        built mapping on this device (any mapping kind). */
+    std::string device;
 };
 
 /** What one input compiled to (compile artifacts already on disk). */
@@ -112,6 +123,8 @@ struct CompileOutcome
     LoadedProblem problem;
     MappingResult built;
     std::optional<HamiltonianMetrics> qubitMetrics;
+    /** Routed cost on CompileConfig::device (set iff a device was). */
+    std::optional<device::HardwareCost> hardwareCost;
     double totalSeconds = 0.0;
     /** Construction hit its deadline and fell back to btt. */
     bool degraded = false;

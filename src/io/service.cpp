@@ -5,6 +5,7 @@
 #include "common/deadline.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "device/device.hpp"
 #include "io/batch.hpp"
 #include "io/cache.hpp"
 #include "io/serialize.hpp"
@@ -64,6 +65,10 @@ compileRequestToJson(const CompileRequest &req)
     doc.add("timeout_seconds", req.timeoutSeconds);
     doc.add("fallback", req.fallback);
     doc.add("jobs", req.jobs);
+    // Added within v1: emitted only when set, so frames from clients
+    // that never ask for a device stay byte-identical to older builds.
+    if (!req.device.empty())
+        doc.add("device", req.device);
     return doc;
 }
 
@@ -85,6 +90,9 @@ compileRequestFromJson(const JsonValue &doc)
     // Added within v1 (optional, default 0): older clients omit it.
     if (const JsonValue *v = doc.find("jobs"); v && !v->isNull())
         req.jobs = static_cast<uint32_t>(v->asInt(0, UINT32_MAX));
+    // Added within v1 (optional, default ""): older clients omit it.
+    if (const JsonValue *v = doc.find("device"); v && !v->isNull())
+        req.device = v->asString();
     return req;
 }
 
@@ -107,6 +115,16 @@ compileResponseToJson(const CompileResponse &resp)
                                   ? JsonValue(*resp.maxImagCoeff)
                                   : JsonValue(nullptr));
     doc.add("candidates", optionalU64(resp.candidates));
+    // Added within v1: the device block is only emitted for device-aware
+    // compiles, keeping every architecture-agnostic response (and the
+    // daemon byte-identity bar over them) unchanged.
+    if (!resp.device.empty()) {
+        doc.add("device", resp.device);
+        doc.add("routed_cnots", optionalU64(resp.routedCnots));
+        doc.add("routed_u3", optionalU64(resp.routedU3));
+        doc.add("routed_depth", optionalU64(resp.routedDepth));
+        doc.add("routed_swaps", optionalU64(resp.routedSwaps));
+    }
     doc.add("cache_hit", resp.cacheHit);
     doc.add("cache_tier", resp.cacheTier.empty()
                               ? JsonValue(nullptr)
@@ -140,6 +158,13 @@ compileResponseFromJson(const JsonValue &doc)
         v && !v->isNull())
         resp.maxImagCoeff = v->asNumber();
     resp.candidates = readOptionalU64(doc, "candidates");
+    if (const JsonValue *v = doc.find("device"); v && !v->isNull()) {
+        resp.device = v->asString();
+        resp.routedCnots = readOptionalU64(doc, "routed_cnots");
+        resp.routedU3 = readOptionalU64(doc, "routed_u3");
+        resp.routedDepth = readOptionalU64(doc, "routed_depth");
+        resp.routedSwaps = readOptionalU64(doc, "routed_swaps");
+    }
     resp.cacheHit = doc.at("cache_hit").asBool();
     if (const JsonValue *v = doc.find("cache_tier"); v && !v->isNull())
         resp.cacheTier = v->asString();
@@ -191,6 +216,16 @@ CompilationService::compile(const CompileRequest &req)
     config.limits.maxModes = req.maxModes;
     config.timeoutSeconds = req.timeoutSeconds;
     config.fallback = req.fallback;
+    if (!req.device.empty()) {
+        // Canonicalise up front: the spelling is a cache-key component
+        // (mapper option bag) and a response field, so "Montreal" and
+        // "montreal" must be the same request.
+        StatusOr<std::string> canonical =
+            device::canonicalDeviceName(req.device);
+        if (!canonical.ok())
+            return canonical.status();
+        config.device = canonical.value();
+    }
 
     // Admission gate: cap this request's fan-out over the work pool
     // (0 = inherit). Outputs are cap-invariant by the determinism
@@ -215,6 +250,13 @@ CompilationService::compile(const CompileRequest &req)
             resp.maxImagCoeff = res.qubitMetrics->maxImagCoeff;
         }
         resp.candidates = res.built.metrics.candidates;
+        if (res.hardwareCost) {
+            resp.device = config.device;
+            resp.routedCnots = res.hardwareCost->cnots;
+            resp.routedU3 = res.hardwareCost->u3;
+            resp.routedDepth = res.hardwareCost->depth;
+            resp.routedSwaps = res.hardwareCost->swaps;
+        }
         resp.cacheHit = res.built.metrics.cacheHit;
         resp.cacheTier = res.built.metrics.cacheTier;
         resp.degraded = res.degraded;

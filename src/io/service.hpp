@@ -65,6 +65,12 @@ struct CompileRequest
         pool; 0 = inherit the pool configuration. Does not affect
         outputs — determinism holds for every cap. */
     uint32_t jobs = 0;
+    /** Target device (DeviceRegistry name); empty = architecture-
+        agnostic compile. Added within wire v1 (optional-with-default):
+        older clients omit it and the field is only emitted when set.
+        When set, the response carries the routed hardware-cost
+        fields. */
+    std::string device;
 };
 
 JsonValue compileRequestToJson(const CompileRequest &req);
@@ -85,6 +91,14 @@ struct CompileResponse
     std::optional<uint64_t> qubitTerms;    //!< emitQubit only
     std::optional<double> maxImagCoeff;    //!< emitQubit only
     std::optional<uint64_t> candidates;    //!< HATT kinds
+    /** Canonical device name; empty = no device was requested. The
+        routed_* fields below are set iff device is non-empty, and are
+        deterministic (part of the byte-identity bar, not volatile). */
+    std::string device;
+    std::optional<uint64_t> routedCnots;
+    std::optional<uint64_t> routedU3;
+    std::optional<uint64_t> routedDepth;
+    std::optional<uint64_t> routedSwaps;
     bool cacheHit = false;
     std::string cacheTier;   //!< "memory" | "disk" | "" (miss/untiered)
     bool degraded = false;   //!< fell back to btt on deadline
@@ -141,6 +155,14 @@ struct BatchItemResult
     uint32_t numQubits = 0;
     uint64_t pauliWeight = 0;
     std::optional<uint64_t> candidates;
+    /** Canonical device name; empty = architecture-agnostic item. The
+        routed fields are set iff device is non-empty (deterministic —
+        they ride in batch_report.json, not the stats). */
+    std::string device;
+    std::optional<uint64_t> routedCnots;
+    std::optional<uint64_t> routedU3;
+    std::optional<uint64_t> routedDepth;
+    std::optional<uint64_t> routedSwaps;
 
     // Volatile fields (batch_stats.json only — they differ between a
     // cold and a warm run, or between machines).
@@ -187,6 +209,10 @@ struct BatchOptions
     /** On a construction deadline, degrade to the deterministic FH
         ternary-tree construction (btt) instead of failing the item. */
     bool fallback = false;
+
+    /** Canonical device name threaded into every item's compile; empty
+        = architecture-agnostic batch. */
+    std::string device;
 };
 
 /** Everything one batch run produced: per-item results plus the two

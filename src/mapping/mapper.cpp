@@ -10,6 +10,7 @@
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
+#include "device/device_mappers.hpp"
 #include "mapping/balanced_tree.hpp"
 #include "mapping/bravyi_kitaev.hpp"
 #include "mapping/hatt.hpp"
@@ -326,6 +327,45 @@ registerBuiltinMappers(MapperRegistry &reg)
         false));
     reg.add(std::make_unique<FhExactMapper>());
     reg.add(std::make_unique<FhStochMapper>());
+    device::registerDeviceMappers(reg); // bonsai + treespilation
+}
+
+/** splitmix64 finalizer: decorrelates the folded option-bag hash. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a over a string (the same idiom io uses for content hashing). */
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/**
+ * The cache key: the canonical content hash with the request's option
+ * bag folded in, so two requests for the same Hamiltonian that differ
+ * only in options (e.g. bonsai device=line:8 vs device=montreal) never
+ * collide in a MappingStore. An empty bag leaves the hash untouched,
+ * preserving every pre-option cache entry and pinned hash.
+ */
+uint64_t
+effectiveContentHash(const MappingRequest &req)
+{
+    uint64_t h = *req.contentHash;
+    for (const auto &[key, value] : req.options) // std::map: sorted order
+        h = mix64(h ^ mix64(fnv1a(key)) ^ (fnv1a(value) * 0x100000001b3ULL));
+    return h;
 }
 
 } // namespace
@@ -432,11 +472,13 @@ MapperRegistry::build(const MappingRequest &req, MappingStore *cache) const
 
     const bool consult_cache = cache && caps.cacheable &&
                                req.contentHash.has_value();
+    const uint64_t cache_key =
+        consult_cache ? effectiveContentHash(req) : 0;
     double cache_seconds = 0.0;
     if (consult_cache) {
         Timer lookup_timer;
         std::optional<MappingStore::Entry> hit =
-            cache->load(*req.contentHash, mapper->name());
+            cache->load(cache_key, mapper->name());
         cache_seconds = lookup_timer.seconds();
         metrics::observe("mapping.cache_lookup_seconds", cache_seconds);
         if (hit) {
@@ -491,7 +533,7 @@ MapperRegistry::build(const MappingRequest &req, MappingStore *cache) const
         entry.tree = built->tree;
         entry.candidates = built->metrics.candidates;
         try {
-            cache->save(*req.contentHash, mapper->name(), entry);
+            cache->save(cache_key, mapper->name(), entry);
         } catch (const std::exception &) {
             // Persistence is best effort; the build already succeeded.
         }

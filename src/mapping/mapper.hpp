@@ -224,6 +224,11 @@ struct MapperCapabilities
     bool cacheable = true;         //!< content-addressed caching is sound
     bool producesTree = false;     //!< MappingResult::tree is populated
     bool vacuumPreserving = true;  //!< a_j|0...0> = 0 for every mode
+    /** Consumes the "device" option (a DeviceRegistry name): the tree
+        is shaped by the device coupling graph, so the option is part of
+        the cache identity (the registry folds the option bag into the
+        content hash). */
+    bool deviceAware = false;
     std::string summary;           //!< one line for `hattc mappings`
 };
 

@@ -1,6 +1,10 @@
 #include "mapping/verify.hpp"
 
 #include <sstream>
+#include <vector>
+
+#include "mapping/balanced_tree.hpp"
+#include "tree/ternary_tree.hpp"
 
 namespace hatt {
 
@@ -97,14 +101,39 @@ verifyMapperResult(const Mapper &mapper, const MappingRequest &request,
             return {false, "mapper '" + mapper.name() +
                                "' tree re-derives a different operator "
                                "count"};
+        // The tree generates two legitimate assemblies: the natural
+        // leaf order (HATT bakes its pairing into the tree itself) and
+        // the vacuum-pairing permutation of the same strings (the
+        // assembly the device-aware mappers ship). The whole mapping
+        // must match one of them, string-for-string.
+        const std::vector<int> pairing =
+            vacuumPairingAssignment(*result.tree);
+        // The pairing indexes the full 2N+1 extracted strings by leaf
+        // index (the discarded leaf is not necessarily the last one),
+        // so compare against the complete extraction, not the 2N-entry
+        // natural assembly.
+        const std::vector<PauliString> extracted =
+            result.tree->extractStrings();
+        bool natural_all = true;
+        bool paired_all = true;
+        size_t first_mismatch = 0;
         for (size_t i = 0; i < rederived.majorana.size(); ++i) {
-            if (!(rederived.majorana[i].string ==
-                  result.mapping.majorana[i].string)) {
-                std::ostringstream ss;
-                ss << "mapper '" << mapper.name() << "' tree re-derives "
-                   << "a different string for Majorana " << i;
-                return {false, ss.str()};
-            }
+            const PauliString &got = result.mapping.majorana[i].string;
+            const bool natural = rederived.majorana[i].string == got;
+            const bool paired =
+                pairing[i] >= 0 &&
+                static_cast<size_t>(pairing[i]) < extracted.size() &&
+                extracted[static_cast<size_t>(pairing[i])] == got;
+            if (!natural && !paired && natural_all && paired_all)
+                first_mismatch = i;
+            natural_all = natural_all && natural;
+            paired_all = paired_all && paired;
+        }
+        if (!natural_all && !paired_all) {
+            std::ostringstream ss;
+            ss << "mapper '" << mapper.name() << "' tree re-derives "
+               << "a different string for Majorana " << first_mismatch;
+            return {false, ss.str()};
         }
     }
     return {true, ""};

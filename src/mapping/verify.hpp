@@ -42,8 +42,10 @@ bool preservesVacuum(const FermionQubitMapping &map);
  * qubit-count consistency with the request, vacuum preservation whenever
  * the capabilities promise it, and — for tree-producing mappers — that
  * the returned tree is present and re-derives exactly the returned
- * Majorana strings (mappingFromTree). Capabilities describe the default
- * option bag, so callers run this on requests without overrides.
+ * Majorana strings, either in the natural leaf order (mappingFromTree)
+ * or under the vacuum-pairing permutation (vacuumPairingAssignment, the
+ * assembly the device-aware mappers ship). Capabilities describe the
+ * default option bag, so callers run this on requests without overrides.
  */
 MappingCheck verifyMapperResult(const Mapper &mapper,
                                 const MappingRequest &request,

@@ -46,18 +46,44 @@ CouplingMap::buildDistances()
 bool
 CouplingMap::adjacent(int a, int b) const
 {
+    if (a < 0 || b < 0 || a >= static_cast<int>(num_qubits_) ||
+        b >= static_cast<int>(num_qubits_))
+        return false;
     return dist_[a][b] == 1;
+}
+
+int
+CouplingMap::distance(int a, int b) const
+{
+    const std::string device = name_.empty() ? "unnamed" : name_;
+    if (a < 0 || b < 0 || a >= static_cast<int>(num_qubits_) ||
+        b >= static_cast<int>(num_qubits_))
+        throw std::invalid_argument(
+            "CouplingMap::distance: qubit pair (" + std::to_string(a) +
+            ", " + std::to_string(b) + ") out of range for device '" +
+            device + "' with " + std::to_string(num_qubits_) + " qubits");
+    const int d = dist_[a][b];
+    if (d > static_cast<int>(num_qubits_))
+        throw std::invalid_argument(
+            "CouplingMap::distance: qubits " + std::to_string(a) +
+            " and " + std::to_string(b) +
+            " are disconnected on device '" + device + "'");
+    return d;
 }
 
 int
 CouplingMap::nextHop(int a, int b) const
 {
-    if (a == b)
+    if (a == b && a >= 0 && a < static_cast<int>(num_qubits_))
         return a;
+    const int d = distance(a, b); // bounds + connectivity checks
     for (int v : adj_[a])
-        if (dist_[v][b] == dist_[a][b] - 1)
+        if (dist_[v][b] == d - 1)
             return v;
-    throw std::logic_error("CouplingMap::nextHop: disconnected graph");
+    throw std::invalid_argument(
+        "CouplingMap::nextHop: no shortest-path step from " +
+        std::to_string(a) + " to " + std::to_string(b) + " on device '" +
+        (name_.empty() ? "unnamed" : name_) + "'");
 }
 
 bool
@@ -147,7 +173,28 @@ CouplingMap::line(uint32_t n)
     std::vector<std::pair<int, int>> edges;
     for (uint32_t i = 0; i + 1 < n; ++i)
         edges.push_back({static_cast<int>(i), static_cast<int>(i + 1)});
-    return CouplingMap(n, std::move(edges), "line");
+    return CouplingMap(n, std::move(edges),
+                       "line:" + std::to_string(n));
+}
+
+CouplingMap
+CouplingMap::grid(uint32_t w, uint32_t h)
+{
+    std::vector<std::pair<int, int>> edges;
+    auto id = [&](uint32_t r, uint32_t c) {
+        return static_cast<int>(r * w + c);
+    };
+    for (uint32_t r = 0; r < h; ++r) {
+        for (uint32_t c = 0; c < w; ++c) {
+            if (c + 1 < w)
+                edges.push_back({id(r, c), id(r, c + 1)});
+            if (r + 1 < h)
+                edges.push_back({id(r, c), id(r + 1, c)});
+        }
+    }
+    return CouplingMap(w * h, std::move(edges),
+                       "grid:" + std::to_string(w) + "x" +
+                           std::to_string(h));
 }
 
 CouplingMap
@@ -157,7 +204,8 @@ CouplingMap::allToAll(uint32_t n)
     for (uint32_t i = 0; i < n; ++i)
         for (uint32_t j = i + 1; j < n; ++j)
             edges.push_back({static_cast<int>(i), static_cast<int>(j)});
-    return CouplingMap(n, std::move(edges), "all-to-all");
+    return CouplingMap(n, std::move(edges),
+                       "all-to-all:" + std::to_string(n));
 }
 
 } // namespace hatt

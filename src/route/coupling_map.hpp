@@ -33,10 +33,19 @@ class CouplingMap
 
     bool adjacent(int a, int b) const;
 
-    /** Hop distance between physical qubits (precomputed BFS). */
-    int distance(int a, int b) const { return dist_[a][b]; }
+    /**
+     * Hop distance between physical qubits (precomputed BFS).
+     * @throws std::invalid_argument naming the device when a qubit id is
+     * out of range or the pair is disconnected — callers never see the
+     * internal "unreachable" sentinel or out-of-range UB.
+     */
+    int distance(int a, int b) const;
 
-    /** First hop on a shortest path a -> b (a itself if a == b). */
+    /**
+     * First hop on a shortest path a -> b (a itself if a == b).
+     * @throws std::invalid_argument naming the device on out-of-range
+     * ids or a disconnected pair, same contract as distance().
+     */
     int nextHop(int a, int b) const;
 
     /** Graph is connected (required by the router). */
@@ -50,6 +59,8 @@ class CouplingMap
     static CouplingMap sycamore();
     /** Simple line (for tests). */
     static CouplingMap line(uint32_t n);
+    /** Rectangular nearest-neighbour grid, w columns by h rows. */
+    static CouplingMap grid(uint32_t w, uint32_t h);
     /** Fully connected (trapped-ion style; routing becomes a no-op). */
     static CouplingMap allToAll(uint32_t n);
 

@@ -1005,6 +1005,141 @@ TEST(Hattc, ReportsUsageAndInputErrors)
     fs::remove_all(dir);
 }
 
+TEST(Hattc, DevicesSubcommandListsTheRegistry)
+{
+    std::string text;
+    ASSERT_EQ(run({"devices"}, &text), 0);
+    for (const char *name : {"manhattan", "montreal", "sycamore"})
+        EXPECT_NE(text.find(std::string(name) + "\n"), std::string::npos)
+            << name;
+    EXPECT_NE(text.find("parametric families:"), std::string::npos);
+    EXPECT_NE(text.find("line:<n>"), std::string::npos);
+
+    ASSERT_EQ(run({"devices", "--json"}, &text), 0);
+    JsonValue doc = JsonValue::parse(text);
+    const JsonValue &arr = doc.at("devices");
+    ASSERT_EQ(arr.size(), 3u);
+    EXPECT_EQ(arr.at(0).at("name").asString(), "manhattan");
+    EXPECT_EQ(arr.at(1).at("name").asString(), "montreal");
+    EXPECT_EQ(arr.at(1).at("qubits").asInt(), 27);
+    EXPECT_GT(arr.at(1).at("edges").asInt(), 0);
+    EXPECT_FALSE(arr.at(1).at("family").asString().empty());
+    EXPECT_EQ(arr.at(2).at("name").asString(), "sycamore");
+    EXPECT_EQ(doc.at("parametric_families").size(), 3u);
+
+    EXPECT_EQ(run({"devices", "extra"}, &text), 64);
+}
+
+TEST(Hattc, DeviceAwareCompileReportsRoutedCost)
+{
+    const std::string input = dataFile("h2.ops");
+    fs::path dir = scratchDir("device");
+
+    // A device-aware kind compiles and the driver reports the routed
+    // cost; the device name echoes back in its canonical spelling.
+    std::string text;
+    ASSERT_EQ(run({"compile", input, "--mapping", "treespilation",
+                   "--device", "Montreal", "-o",
+                   (dir / "ts").string()},
+                  &text),
+              0)
+        << text;
+    EXPECT_NE(text.find("device:       montreal -> "), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("SWAPs inserted"), std::string::npos) << text;
+
+    // Device-independent kinds accept --device too: they map
+    // agnostically and pay whatever routing costs.
+    ASSERT_EQ(run({"compile", input, "--mapping", "jw", "--device",
+                   "line:8", "-o", (dir / "jw").string()},
+                  &text),
+              0)
+        << text;
+    EXPECT_NE(text.find("device:       line:8 -> "), std::string::npos)
+        << text;
+    // Without --device the line is absent entirely.
+    ASSERT_EQ(run({"compile", input, "--mapping", "jw", "-o",
+                   (dir / "plain").string()},
+                  &text),
+              0);
+    EXPECT_EQ(text.find("device:"), std::string::npos) << text;
+    fs::remove_all(dir);
+}
+
+TEST(Hattc, DeviceUsageErrorsAreDiagnosedAtParseTime)
+{
+    std::string text;
+    // Unknown device: a command-line error (64) naming the valid
+    // devices — before any input file is touched.
+    EXPECT_EQ(run({"compile", "in.ops", "--device", "bogus"}, &text), 64);
+    EXPECT_NE(text.find("montreal"), std::string::npos) << text;
+    EXPECT_NE(text.find("line:<n>"), std::string::npos) << text;
+
+    // A device-aware kind without a target cannot build.
+    EXPECT_EQ(run({"compile", "in.ops", "--mapping", "bonsai"}, &text),
+              64);
+    EXPECT_NE(text.find("needs --device"), std::string::npos) << text;
+    EXPECT_EQ(
+        run({"map", "in.ops", "--mapping", "treespilation"}, &text), 64);
+
+    // --device is a compile-path option.
+    EXPECT_EQ(run({"mappings", "--device", "montreal"}, &text), 64);
+    EXPECT_EQ(run({"devices", "--device", "montreal"}, &text), 64);
+}
+
+TEST(Hattc, MappingsAdvertiseDeviceAwareness)
+{
+    std::string text;
+    ASSERT_EQ(run({"mappings", "--json"}, &text), 0);
+    JsonValue doc = JsonValue::parse(text);
+    bool saw_bonsai = false, saw_jw = false;
+    for (const JsonValue &rec : doc.at("mappings").asArray()) {
+        const std::string name = rec.at("name").asString();
+        if (name == "bonsai" || name == "treespilation") {
+            EXPECT_TRUE(rec.at("device_aware").asBool()) << name;
+            saw_bonsai = saw_bonsai || name == "bonsai";
+        } else {
+            EXPECT_FALSE(rec.at("device_aware").asBool()) << name;
+            saw_jw = saw_jw || name == "jw";
+        }
+    }
+    EXPECT_TRUE(saw_bonsai);
+    EXPECT_TRUE(saw_jw);
+
+    ASSERT_EQ(run({"mappings"}, &text), 0);
+    EXPECT_NE(text.find("device-aware"), std::string::npos);
+}
+
+TEST(Hattc, DeviceAwareBatchEmitsRoutedCostBlock)
+{
+    fs::path dir = scratchDir("devicebatch");
+    fs::path corpus = dir / "corpus";
+    fs::create_directories(corpus);
+    fs::copy_file(dataFile("eq3.ops"), corpus / "eq3.ops");
+    fs::copy_file(dataFile("h2.ops"), corpus / "h2.ops");
+
+    std::string text;
+    ASSERT_EQ(run({"batch", corpus.string(), "-o", (dir / "out").string(),
+                   "--mapping", "jw,bonsai", "--device", "line:8"},
+                  &text),
+              0)
+        << text;
+
+    JsonValue doc =
+        JsonValue::parse(slurp(dir / "out/batch_report.json"));
+    size_t rows = 0;
+    for (const JsonValue &rec : doc.at("inputs").asArray()) {
+        ++rows;
+        ASSERT_EQ(rec.at("status").asString(), "ok")
+            << rec.at("key").asString();
+        EXPECT_EQ(rec.at("device").asString(), "line:8");
+        EXPECT_GT(rec.at("routed_cnots").asInt(), 0);
+        EXPECT_GT(rec.at("routed_depth").asInt(), 0);
+    }
+    EXPECT_EQ(rows, 4u); // 2 inputs x {jw, bonsai}
+    fs::remove_all(dir);
+}
+
 // The Status -> sysexits mapping, normatively tabled in
 // docs/PROTOCOL.md ("Status codes") and implemented by
 // io/cli.hpp's exitCodeForStatus. Pinned: scripts and CI match on

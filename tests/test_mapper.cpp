@@ -84,7 +84,8 @@ TEST(MapperRegistry, ListsTheBuiltinsSorted)
     const std::vector<std::string> kinds =
         MapperRegistry::instance().kinds();
     const std::vector<std::string> expected = {
-        "bk", "btt", "fh-exact", "fh-stoch", "hatt", "hatt-unopt", "jw"};
+        "bk",   "bonsai",     "btt", "fh-exact", "fh-stoch",
+        "hatt", "hatt-unopt", "jw",  "treespilation"};
     EXPECT_EQ(kinds, expected);
     for (const std::string &k : kinds) {
         const Mapper *m = MapperRegistry::instance().find(k);

@@ -356,6 +356,55 @@ TEST(Server, SecondIdenticalRequestServedFromMemoryTier)
     fs::remove_all(dir);
 }
 
+TEST(Server, DeviceAwareRoundTripMatchesOneShot)
+{
+    // The device-aware path over the wire: the daemon's response —
+    // canonical device echo plus the routed-cost block — is
+    // byte-identical to a one-shot CompilationService compile, modulo
+    // the documented volatile fields.
+    fs::path dir = scratchDir("device");
+    ServerConfig config;
+    config.outRoot = (dir / "srv").string();
+    Daemon daemon(config);
+    Client client(daemon.server.port());
+
+    CompileRequest req;
+    req.path = dataFile("h2.ops");
+    req.outDir = "w";
+    req.mapping = "treespilation";
+    req.device = "Montreal"; // canonicalised on both paths
+    JsonValue served = client.rpc(io::compileRequestToJson(req));
+    ASSERT_EQ(served.at("format").asString(), "hatt-compile-response")
+        << served.dump(2);
+    EXPECT_EQ(served.at("device").asString(), "montreal");
+    EXPECT_GT(served.at("routed_cnots").asInt(), 0);
+    EXPECT_GT(served.at("routed_depth").asInt(), 0);
+    ASSERT_FALSE(served.at("routed_swaps").isNull());
+
+    CompilationService oneshot(ServiceConfig{});
+    CompileRequest direct_req = req;
+    direct_req.outDir = (dir / "one").string();
+    StatusOr<io::CompileResponse> direct = oneshot.compile(direct_req);
+    ASSERT_TRUE(direct.ok()) << direct.status().message();
+    EXPECT_EQ(stripVolatile(served),
+              stripVolatile(io::compileResponseToJson(direct.value())));
+
+    // An unknown device comes back as a status frame, and the daemon
+    // keeps serving.
+    CompileRequest bad = req;
+    bad.device = "bogus";
+    JsonValue err = client.rpc(io::compileRequestToJson(bad));
+    EXPECT_EQ(err.at("format").asString(), "hatt-status");
+    EXPECT_NE(err.at("message").asString().find("montreal"),
+              std::string::npos)
+        << err.dump(2);
+    JsonValue again = client.rpc(io::compileRequestToJson(req));
+    EXPECT_EQ(again.at("format").asString(), "hatt-compile-response");
+
+    EXPECT_EQ(daemon.stop(), 0);
+    fs::remove_all(dir);
+}
+
 // ------------------------------------------------- untrusted traffic
 
 TEST(Server, MalformedFramesYieldStatusAndKeepServing)

@@ -218,6 +218,122 @@ TEST(ServiceWire, CompileResponseJsonRoundTripsWithVersion)
     EXPECT_TRUE(bare_back.cacheTier.empty());
 }
 
+TEST(ServiceWire, DeviceFieldIsAdditiveWithinV1)
+{
+    // Request side: the device field is emitted only when set, so
+    // device-free frames stay byte-identical to pre-device builds.
+    CompileRequest plain;
+    plain.path = "x.ops";
+    JsonValue plain_doc = io::compileRequestToJson(plain);
+    EXPECT_EQ(plain_doc.find("device"), nullptr);
+    EXPECT_TRUE(io::compileRequestFromJson(
+                    JsonValue::parse(plain_doc.dump()))
+                    .device.empty());
+
+    CompileRequest with;
+    with.path = "x.ops";
+    with.device = "montreal";
+    JsonValue doc = io::compileRequestToJson(with);
+    EXPECT_EQ(doc.at("version").asInt(), 1);
+    EXPECT_EQ(doc.at("device").asString(), "montreal");
+    EXPECT_EQ(io::compileRequestFromJson(JsonValue::parse(doc.dump(2)))
+                  .device,
+              "montreal");
+
+    // Response side: the whole routed block rides on `device` being
+    // non-empty; absent means architecture-agnostic, not zero cost.
+    CompileResponse resp;
+    resp.stem = "x";
+    resp.inputFormat = "ops";
+    resp.device = "montreal";
+    resp.routedCnots = 123;
+    resp.routedU3 = 456;
+    resp.routedDepth = 78;
+    resp.routedSwaps = 9;
+    JsonValue rdoc = io::compileResponseToJson(resp);
+    EXPECT_EQ(rdoc.at("device").asString(), "montreal");
+    CompileResponse back =
+        io::compileResponseFromJson(JsonValue::parse(rdoc.dump(2)));
+    EXPECT_EQ(back.device, "montreal");
+    ASSERT_TRUE(back.routedCnots);
+    EXPECT_EQ(*back.routedCnots, 123u);
+    ASSERT_TRUE(back.routedU3);
+    EXPECT_EQ(*back.routedU3, 456u);
+    ASSERT_TRUE(back.routedDepth);
+    EXPECT_EQ(*back.routedDepth, 78u);
+    ASSERT_TRUE(back.routedSwaps);
+    EXPECT_EQ(*back.routedSwaps, 9u);
+
+    CompileResponse bare;
+    bare.stem = "x";
+    bare.inputFormat = "ops";
+    JsonValue bare_doc = io::compileResponseToJson(bare);
+    EXPECT_EQ(bare_doc.find("device"), nullptr);
+    EXPECT_EQ(bare_doc.find("routed_cnots"), nullptr);
+    CompileResponse bare_back =
+        io::compileResponseFromJson(JsonValue::parse(bare_doc.dump()));
+    EXPECT_TRUE(bare_back.device.empty());
+    EXPECT_FALSE(bare_back.routedCnots);
+}
+
+TEST(Service, DeviceAwareCompileRoutesAndCanonicalises)
+{
+    fs::path dir = scratchDir("device");
+    CompilationService service(ServiceConfig{});
+
+    // Any-case device spelling canonicalises; the response reports the
+    // routed cost of the built mapping on that device.
+    CompileRequest req;
+    req.path = dataFile("h2.ops");
+    req.outDir = (dir / "out").string();
+    req.mapping = "bonsai";
+    req.device = "Line:8";
+    StatusOr<CompileResponse> res = service.compile(req);
+    ASSERT_TRUE(res.ok()) << res.status().message();
+    EXPECT_EQ(res->device, "line:8");
+    ASSERT_TRUE(res->routedCnots);
+    EXPECT_GT(*res->routedCnots, 0u);
+    ASSERT_TRUE(res->routedDepth);
+    EXPECT_GT(*res->routedDepth, 0u);
+    ASSERT_TRUE(res->routedSwaps);
+
+    // The repeat is served from cache with the identical routed block.
+    StatusOr<CompileResponse> warm = service.compile(req);
+    ASSERT_TRUE(warm.ok());
+    EXPECT_TRUE(warm->cacheHit);
+    EXPECT_EQ(*warm->routedCnots, *res->routedCnots);
+    EXPECT_EQ(*warm->routedDepth, *res->routedDepth);
+
+    // Same problem on a different device must NOT hit the first
+    // device's cache entry — the device is part of the cache key.
+    CompileRequest other = req;
+    other.device = "grid:3x3";
+    StatusOr<CompileResponse> miss = service.compile(other);
+    ASSERT_TRUE(miss.ok()) << miss.status().message();
+    EXPECT_FALSE(miss->cacheHit);
+    EXPECT_EQ(miss->device, "grid:3x3");
+
+    // Unknown devices are InvalidArgument with the full device list.
+    CompileRequest bad = req;
+    bad.device = "bogus";
+    StatusOr<CompileResponse> err = service.compile(bad);
+    ASSERT_FALSE(err.ok());
+    EXPECT_EQ(err.status().code(), Status::Code::InvalidArgument);
+    EXPECT_NE(err.status().message().find("montreal"),
+              std::string::npos);
+
+    // A device-aware kind with no device is a clean InvalidArgument.
+    CompileRequest no_dev = req;
+    no_dev.device.clear();
+    StatusOr<CompileResponse> rejected = service.compile(no_dev);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), Status::Code::InvalidArgument);
+    EXPECT_NE(rejected.status().message().find("device"),
+              std::string::npos);
+
+    fs::remove_all(dir);
+}
+
 // -------------------------------------------------------------- service
 
 TEST(Service, CompileWithoutArgvAndMemoizeInProcess)
